@@ -1,0 +1,441 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (§5) on the OCaml reproduction (see DESIGN.md §2 for the
+    experiment index, EXPERIMENTS.md for paper-vs-measured):
+
+    - fig12   : analysis-time bars per program (Doop engine)
+    - table1  : time + 4 precision metrics, Datalog engine (Doop analog)
+    - table2  : same on the imperative engine (Tai-e analog)
+    - table3  : Zipper^e vs Cut-Shortcut detailed comparison
+    - recall  : §5.1 soundness recall experiment
+    - ablation: §5.1 per-pattern precision-impact study
+    - micro   : Bechamel micro-benchmarks of the substrates
+
+    Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
+    Default runs a representative subset sized for a laptop; pass `all` (or
+    individual experiment names) and a bigger budget to reproduce everything.
+*)
+
+module Ir = Csc_ir.Ir
+module Run = Csc_driver.Run
+module Suite = Csc_workloads.Suite
+module Metrics = Csc_clients.Metrics
+module Bits = Csc_common.Bits
+module Csc = Csc_core.Csc
+
+type config = {
+  programs : string list;
+  budget : float;       (* imperative engine, seconds *)
+  doop_budget : float;  (* datalog engine, seconds *)
+}
+
+(* results are memoized so fig12/table1/table3 don't re-run analyses *)
+let cache : (string * string, Run.outcome) Hashtbl.t = Hashtbl.create 64
+let programs_cache : (string, Ir.program) Hashtbl.t = Hashtbl.create 16
+
+let program name =
+  match Hashtbl.find_opt programs_cache name with
+  | Some p -> p
+  | None ->
+    let p = Suite.compile name in
+    Hashtbl.add programs_cache name p;
+    p
+
+let outcome cfg pname analysis : Run.outcome =
+  let key = (pname, Run.name analysis) in
+  match Hashtbl.find_opt cache key with
+  | Some o -> o
+  | None ->
+    let budget =
+      match analysis with
+      | Run.Doop_ci | Doop_csc | Doop_2obj | Doop_2type | Doop_zipper ->
+        cfg.doop_budget
+      | _ -> cfg.budget
+    in
+    Fmt.epr "  [%s / %s] ...@." pname (Run.name analysis);
+    let o = Run.run ~budget_s:budget (program pname) analysis in
+    (* keep full results only where a later experiment reads them (recall /
+       extras / table3 overlap use CI and CSC); context-sensitive results can
+       hold hundreds of MB of per-context tables *)
+    let keep_result =
+      match analysis with
+      | Run.Imp_ci | Run.Imp_csc | Run.Doop_ci | Run.Doop_csc -> true
+      | _ -> false
+    in
+    let o = if keep_result then o else { o with Run.o_result = None } in
+    Hashtbl.add cache key o;
+    (* the timed-out context-sensitive runs leave a bloated heap behind;
+       without this, every analysis after a 2obj timeout crawls *)
+    Gc.compact ();
+    o
+
+let time_cell cfg (o : Run.outcome) =
+  if o.o_timeout then
+    Fmt.str ">%.0fs"
+      (if String.length o.o_analysis >= 4 && String.sub o.o_analysis 0 4 = "doop"
+       then cfg.doop_budget
+       else cfg.budget)
+  else Fmt.str "%.2f" o.o_time
+
+let metric_cells (o : Run.outcome) =
+  match o.o_metrics with
+  | None -> ("-", "-", "-", "-")
+  | Some m ->
+    ( string_of_int m.fail_cast,
+      string_of_int m.reach_mtd,
+      string_of_int m.poly_call,
+      string_of_int m.call_edge )
+
+(* ------------------------------------------------------------- tables 1/2 *)
+
+let efficiency_table cfg ~title (analyses : Run.analysis list) =
+  Fmt.pr "@.=== %s ===@." title;
+  Fmt.pr "%-11s %-14s %9s %11s %11s %11s %11s@." "program" "analysis" "time(s)"
+    "#fail-cast" "#reach-mtd" "#poly-call" "#call-edge";
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun a ->
+          let o = outcome cfg pname a in
+          let fc, rm, pc, ce = metric_cells o in
+          Fmt.pr "%-11s %-14s %9s %11s %11s %11s %11s@." pname o.o_analysis
+            (time_cell cfg o) fc rm pc ce)
+        analyses;
+      Fmt.pr "@.")
+    cfg.programs
+
+let table2 cfg =
+  efficiency_table cfg
+    ~title:
+      "Table 2: efficiency and precision on the imperative engine (Tai-e \
+       analog)"
+    [ Run.Imp_ci; Run.Imp_2obj; Run.Imp_2type; Run.Imp_zipper; Run.Imp_csc ]
+
+let table1 cfg =
+  efficiency_table cfg
+    ~title:
+      "Table 1: efficiency and precision on the Datalog engine (Doop analog)"
+    [ Run.Doop_ci; Run.Doop_2obj; Run.Doop_2type; Run.Doop_zipper; Run.Doop_csc ]
+
+(* --------------------------------------------------------------- figure 12 *)
+
+let fig12 cfg =
+  Fmt.pr "@.=== Figure 12: analysis time (s) per program, Datalog engine ===@.";
+  let analyses =
+    [ Run.Doop_csc; Run.Doop_ci; Run.Doop_zipper; Run.Doop_2obj; Run.Doop_2type ]
+  in
+  (* bar chart, log-ish scale *)
+  List.iter
+    (fun pname ->
+      Fmt.pr "@.%s:@." pname;
+      List.iter
+        (fun a ->
+          let o = outcome cfg pname a in
+          let t = if o.o_timeout then cfg.doop_budget else o.o_time in
+          let bar = int_of_float (10. *. log10 (1. +. (t *. 100.))) in
+          Fmt.pr "  %-14s %-8s |%s%s@." o.o_analysis (time_cell cfg o)
+            (String.make (max 1 bar) '#')
+            (if o.o_timeout then "..." else ""))
+        analyses)
+    cfg.programs
+
+(* ---------------------------------------------------------------- table 3 *)
+
+let table3 cfg =
+  Fmt.pr
+    "@.=== Table 3: Zipper^e vs Cut-Shortcut (imperative engine \
+     left, Datalog right in the paper; both engines below) ===@.";
+  Fmt.pr "%-11s %-8s %9s %9s %9s %9s | %9s %9s %9s@." "program" "engine"
+    "zip-total" "zip-pre" "zip-main" "selected" "csc-time" "involved" "overlap";
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun (engine, zip_a, csc_a) ->
+          let zo = outcome cfg pname zip_a in
+          let co = outcome cfg pname csc_a in
+          let selected =
+            match zo.o_selected with Some b -> Bits.cardinal b | None -> 0
+          in
+          let involved =
+            match co.o_involved with Some b -> Bits.cardinal b | None -> 0
+          in
+          let overlap =
+            match (co.o_involved, zo.o_selected) with
+            | Some i, Some s -> Fmt.str "%.1f%%" (100. *. Run.overlap ~involved:i ~selected:s)
+            | _ -> "-"
+          in
+          Fmt.pr "%-11s %-8s %9s %9.2f %9.2f %9d | %9s %9d %9s@." pname engine
+            (time_cell cfg zo) zo.o_pre_time zo.o_main_time selected
+            (time_cell cfg co) involved overlap)
+        [ ("tai-e", Run.Imp_zipper, Run.Imp_csc);
+          ("doop", Run.Doop_zipper, Run.Doop_csc) ])
+    cfg.programs
+
+(* ----------------------------------------------------------------- recall *)
+
+let recall cfg =
+  Fmt.pr "@.=== Recall experiment (§5.1): dynamic coverage of each analysis ===@.";
+  Fmt.pr "%-11s %10s %10s %-12s %10s %10s@." "program" "dyn-mtd" "dyn-edge"
+    "analysis" "recall-m" "recall-e";
+  List.iter
+    (fun pname ->
+      let p = program pname in
+      let dyn = Csc_interp.Interp.run p in
+      List.iter
+        (fun a ->
+          match (outcome cfg pname a).o_result with
+          | None -> Fmt.pr "%-11s %10s %10s %-12s (timeout)@." pname "" "" (Run.name a)
+          | Some r ->
+            let rc =
+              Metrics.recall r ~dyn_reach:dyn.dyn_reachable
+                ~dyn_edges:dyn.dyn_edges
+            in
+            Fmt.pr "%-11s %10d %10d %-12s %9.1f%% %9.1f%%@." pname
+              (Bits.cardinal dyn.dyn_reachable)
+              (List.length dyn.dyn_edges)
+              (Run.name a)
+              (100. *. rc.recall_methods)
+              (100. *. rc.recall_edges))
+        [ Run.Imp_ci; Run.Imp_csc; Run.Doop_csc ])
+    cfg.programs
+
+(* --------------------------------------------------------------- ablation *)
+
+let ablation cfg =
+  Fmt.pr
+    "@.=== Pattern-impact study (§5.1): share of CSC's precision improvement ===@.";
+  let variants =
+    Csc.
+      [
+        ("field", { field_pattern = true; container_pattern = false; local_flow = false });
+        ("container", { field_pattern = false; container_pattern = true; local_flow = false });
+        ("localflow", { field_pattern = false; container_pattern = false; local_flow = true });
+      ]
+  in
+  let clients =
+    [
+      ("#fail-cast", fun (m : Metrics.t) -> m.fail_cast);
+      ("#reach-mtd", fun m -> m.reach_mtd);
+      ("#poly-call", fun m -> m.poly_call);
+      ("#call-edge", fun m -> m.call_edge);
+    ]
+  in
+  (* average over programs of (CI - variant) / (CI - full CSC) *)
+  let sums = Hashtbl.create 16 in
+  let counts = ref 0 in
+  List.iter
+    (fun pname ->
+      let ci = (outcome cfg pname Run.Imp_ci).o_metrics in
+      let full = (outcome cfg pname Run.Imp_csc).o_metrics in
+      match (ci, full) with
+      | Some ci, Some full ->
+        incr counts;
+        List.iter
+          (fun (vname, cfg_v) ->
+            match (outcome cfg pname (Run.Imp_csc_cfg cfg_v)).o_metrics with
+            | Some mv ->
+              List.iter
+                (fun (cname, f) ->
+                  let denom = f ci - f full in
+                  let share =
+                    if denom <= 0 then 0.
+                    else float (f ci - f mv) /. float denom
+                  in
+                  let key = (vname, cname) in
+                  Hashtbl.replace sums key
+                    (share
+                    +. Option.value ~default:0. (Hashtbl.find_opt sums key)))
+                clients
+            | None -> ())
+          variants
+      | _ -> ())
+    cfg.programs;
+  Fmt.pr "%-11s" "pattern";
+  List.iter (fun (cname, _) -> Fmt.pr " %11s" cname) clients;
+  Fmt.pr "@.";
+  List.iter
+    (fun (vname, _) ->
+      Fmt.pr "%-11s" vname;
+      List.iter
+        (fun (cname, _) ->
+          let s = Option.value ~default:0. (Hashtbl.find_opt sums (vname, cname)) in
+          Fmt.pr " %10.1f%%" (100. *. s /. float (max 1 !counts)))
+        clients;
+      Fmt.pr "@.")
+    variants;
+  Fmt.pr
+    "(share of the CI->CSC improvement each pattern achieves alone, averaged \
+     over programs;@. the three shares need not sum to 100%%: patterns \
+     reinforce each other, §5.1)@."
+
+(* ----------------------------------------------------------- extensions *)
+
+(* Not in the paper: context-depth study on the programs where object
+   sensitivity scales, showing the precision/cost curve CSC sidesteps. *)
+let kstudy cfg =
+  Fmt.pr "@.=== Extension: context-depth study (kobj) vs CSC ===@.";
+  Fmt.pr "%-11s %-10s %9s %11s %11s@." "program" "analysis" "time(s)"
+    "#fail-cast" "#call-edge";
+  let programs =
+    List.filter
+      (fun p -> List.mem p [ "hsqldb"; "findbugs"; "eclipse"; "jedit" ])
+      cfg.programs
+  in
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun a ->
+          let o = outcome cfg pname a in
+          let fc, _, _, ce = metric_cells o in
+          Fmt.pr "%-11s %-10s %9s %11s %11s@." pname o.o_analysis
+            (time_cell cfg o) fc ce)
+        [ Run.Imp_ci; Run.Imp_kobj 1; Run.Imp_2obj; Run.Imp_kobj 3; Run.Imp_csc ])
+    programs
+
+(* Not in the paper: the instanceof-resolution client over CI vs CSC. *)
+let extras cfg =
+  Fmt.pr "@.=== Extension: unresolved instanceof sites (CI vs CSC) ===@.";
+  Fmt.pr "%-11s %12s %12s@." "program" "ci" "csc";
+  List.iter
+    (fun pname ->
+      let p = program pname in
+      let get a =
+        match (outcome cfg pname a).o_result with
+        | Some r -> string_of_int (Metrics.unresolved_instanceof p r)
+        | None -> "-"
+      in
+      Fmt.pr "%-11s %12s %12s@." pname (get Run.Imp_ci) (get Run.Imp_csc))
+    cfg.programs
+
+(* ------------------------------------------------------------------ micro *)
+
+let micro () =
+  Fmt.pr "@.=== Micro-benchmarks (Bechamel) ===@.";
+  let open Bechamel in
+  let bits_union =
+    Test.make ~name:"bits-union-1k"
+      (Staged.stage (fun () ->
+           let a = Bits.create () and b = Bits.create () in
+           for i = 0 to 999 do
+             ignore (Bits.add a (i * 3));
+             ignore (Bits.add b (i * 5))
+           done;
+           ignore (Bits.union_into ~into:a b)))
+  in
+  let parse_jdk =
+    Test.make ~name:"frontend-jdk"
+      (Staged.stage (fun () ->
+           ignore (Csc_lang.Parser.parse_program Csc_lang.Jdk.source)))
+  in
+  let small = Csc_workloads.Gen.(generate small_shape) in
+  let small_prog = Csc_lang.Frontend.compile_string small in
+  let solver_ci =
+    Test.make ~name:"solver-ci-small"
+      (Staged.stage (fun () ->
+           ignore (Csc_pta.Solver.analyze small_prog)))
+  in
+  let solver_csc =
+    Test.make ~name:"solver-csc-small"
+      (Staged.stage (fun () ->
+           ignore (Csc_pta.Solver.analyze ~plugin_of:Csc.plugin small_prog)))
+  in
+  let datalog_tc =
+    Test.make ~name:"datalog-tc-500"
+      (Staged.stage (fun () ->
+           let t = Csc_datalog.Engine.create () in
+           for i = 0 to 499 do
+             Csc_datalog.Engine.fact t "edge" [ i; i + 1 ]
+           done;
+           Csc_datalog.Engine.fact t "reach" [ 0 ];
+           Csc_datalog.Engine.(
+             add_rule t
+               (atom "reach" [ V "y" ]
+               <-- [ atom "reach" [ V "x" ]; atom "edge" [ V "x"; V "y" ] ]));
+           Csc_datalog.Engine.solve t))
+  in
+  let interp_small =
+    Test.make ~name:"interp-small"
+      (Staged.stage (fun () -> ignore (Csc_interp.Interp.run small_prog)))
+  in
+  let tests =
+    [ bits_union; parse_jdk; solver_ci; solver_csc; datalog_tc; interp_small ]
+  in
+  let cfg_b =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg_b
+          Toolkit.Instance.[ monotonic_clock ]
+          (Test.make_grouped ~name:"g" [ test ])
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+          Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Fmt.pr "%-24s %12.1f ns/run@." name t
+          | _ -> Fmt.pr "%-24s (no estimate)@." name)
+        ols)
+    tests
+
+(* ------------------------------------------------------------------- main *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let has f = List.mem f args in
+  let value ~default key =
+    let rec go = function
+      | k :: v :: _ when k = key -> float_of_string v
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let quick = has "--quick" in
+  let cfg =
+    {
+      programs =
+        (if quick then [ "hsqldb"; "findbugs"; "eclipse" ] else Suite.names);
+      budget = value ~default:(if quick then 20. else 60.) "--budget";
+      doop_budget =
+        value ~default:(if quick then 60. else 150.) "--doop-budget";
+    }
+  in
+  let experiments =
+    List.filter
+      (fun a -> not (String.length a > 1 && a.[0] = '-'))
+      (List.filter (fun a -> a <> string_of_float cfg.budget) args)
+    |> List.filter (fun a ->
+           List.mem a
+             [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation";
+               "kstudy"; "extras"; "micro"; "all" ])
+  in
+  let experiments =
+    if experiments = [] || List.mem "all" experiments then
+      (* cheap (imperative) experiments first so interrupted runs still
+         cover every experiment; the Datalog grid (table1/fig12) comes last *)
+      [ "table2"; "recall"; "ablation"; "kstudy"; "extras"; "micro"; "table3";
+        "table1"; "fig12" ]
+    else experiments
+  in
+  Fmt.pr "cutshortcut bench: programs=[%s] budget=%.0fs doop-budget=%.0fs@."
+    (String.concat ", " cfg.programs)
+    cfg.budget cfg.doop_budget;
+  List.iter
+    (fun e ->
+      match e with
+      | "table2" -> table2 cfg
+      | "table1" -> table1 cfg
+      | "fig12" -> fig12 cfg
+      | "table3" -> table3 cfg
+      | "recall" -> recall cfg
+      | "ablation" -> ablation cfg
+      | "kstudy" -> kstudy cfg
+      | "extras" -> extras cfg
+      | "micro" -> micro ()
+      | _ -> ())
+    experiments

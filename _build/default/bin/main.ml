@@ -1,0 +1,216 @@
+(** cutshortcut — command-line front door.
+
+    Subcommands:
+    - [list]      : show the workload suite with program statistics
+    - [gen]       : print a generated workload's MiniJava source
+    - [run]       : execute a program with the concrete interpreter
+    - [dump-ir]   : print the lowered IR
+    - [analyze]   : run one or more pointer analyses, print time + metrics
+    - [recall]    : the §5.1 recall experiment for one program *)
+
+module Ir = Csc_ir.Ir
+module Run = Csc_driver.Run
+module Suite = Csc_workloads.Suite
+
+let load_program (spec : string) : Ir.program =
+  if List.mem spec Suite.names then Suite.compile spec
+  else if Sys.file_exists spec then begin
+    let ic = open_in_bin spec in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    Csc_lang.Frontend.compile_string ~name:spec src
+  end
+  else
+    Fmt.failwith "unknown program %S (not a suite name or a file)" spec
+
+let analysis_of_string = function
+  | "ci" -> Run.Imp_ci
+  | "csc" -> Run.Imp_csc
+  | "csc-field" ->
+    Run.Imp_csc_cfg
+      { field_pattern = true; container_pattern = false; local_flow = false }
+  | "csc-container" ->
+    Run.Imp_csc_cfg
+      { field_pattern = false; container_pattern = true; local_flow = false }
+  | "csc-localflow" ->
+    Run.Imp_csc_cfg
+      { field_pattern = false; container_pattern = false; local_flow = true }
+  | "2obj" -> Run.Imp_2obj
+  | "2type" -> Run.Imp_2type
+  | "2call" -> Run.Imp_2call
+  | "1obj" -> Run.Imp_kobj 1
+  | "3obj" -> Run.Imp_kobj 3
+  | "1type" -> Run.Imp_ktype 1
+  | "1call" -> Run.Imp_kcall 1
+  | "zipper-e" -> Run.Imp_zipper
+  | "doop-ci" -> Run.Doop_ci
+  | "doop-csc" -> Run.Doop_csc
+  | "doop-2obj" -> Run.Doop_2obj
+  | "doop-2type" -> Run.Doop_2type
+  | "doop-zipper-e" -> Run.Doop_zipper
+  | s -> Fmt.failwith "unknown analysis %S" s
+
+let all_analysis_names =
+  [ "ci"; "csc"; "csc-field"; "csc-container"; "csc-localflow"; "1obj";
+    "2obj"; "3obj"; "1type"; "2type"; "1call"; "2call"; "zipper-e"; "doop-ci";
+    "doop-csc"; "doop-2obj"; "doop-2type"; "doop-zipper-e" ]
+
+let print_outcome (o : Run.outcome) =
+  if o.o_timeout then
+    Fmt.pr "%-14s TIMEOUT after %.1fs@." o.o_analysis o.o_time
+  else begin
+    Fmt.pr "%-14s %8.3fs" o.o_analysis o.o_time;
+    (match o.o_metrics with
+    | Some m -> Fmt.pr "  %a" Csc_clients.Metrics.pp m
+    | None -> ());
+    (match o.o_result with
+    | Some r -> Fmt.pr "  [%s]" r.r_stats
+    | None -> ());
+    Fmt.pr "@."
+  end
+
+(* ------------------------------------------------------------- commands *)
+
+open Cmdliner
+
+let program_arg =
+  let doc = "Program to analyze: a suite name (see `list`) or a .mjava file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let budget_arg =
+  let doc = "Per-analysis time budget in seconds (0 = unlimited)." in
+  Arg.(value & opt float 60.0 & info [ "budget" ] ~doc)
+
+let budget_opt b = if b <= 0. then None else Some b
+
+let list_cmd =
+  let run () =
+    Fmt.pr "%-12s %8s %8s %8s %8s %8s@." "program" "classes" "methods" "stmts"
+      "allocs" "calls";
+    List.iter
+      (fun name ->
+        let p = Suite.compile name in
+        let s = Ir.stats p in
+        Fmt.pr "%-12s %8d %8d %8d %8d %8d@." name s.n_classes s.n_methods
+          s.n_stmts s.n_allocs s.n_calls)
+      Suite.names
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the workload suite with statistics")
+    Term.(const run $ const ())
+
+let gen_cmd =
+  let run name = print_string (Suite.source name) in
+  Cmd.v (Cmd.info "gen" ~doc:"Print a generated workload's source")
+    Term.(const run $ program_arg)
+
+let run_cmd =
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress program output.")
+  in
+  let run spec quiet =
+    let p = load_program spec in
+    let o = Csc_interp.Interp.run p in
+    if not quiet then List.iter print_endline o.output;
+    Fmt.pr "; %d steps, %d methods reached dynamically, %d dynamic call edges@."
+      o.steps
+      (Csc_common.Bits.cardinal o.dyn_reachable)
+      (List.length o.dyn_edges)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Execute a program with the interpreter")
+    Term.(const run $ program_arg $ quiet)
+
+let dump_ir_cmd =
+  let run spec =
+    let p = load_program spec in
+    Fmt.pr "%a@." Ir.pp_program p
+  in
+  Cmd.v (Cmd.info "dump-ir" ~doc:"Print the lowered IR")
+    Term.(const run $ program_arg)
+
+let analyze_cmd =
+  let analyses =
+    let doc =
+      Printf.sprintf "Analyses to run (repeatable). One of: %s, or 'all'."
+        (String.concat ", " all_analysis_names)
+    in
+    Arg.(value & opt_all string [ "ci"; "csc" ] & info [ "analysis"; "a" ] ~doc)
+  in
+  let run spec analyses budget =
+    let p = load_program spec in
+    let s = Ir.stats p in
+    Fmt.pr "program: %s (%a)@." spec Ir.pp_stats s;
+    let analyses =
+      if List.mem "all" analyses then all_analysis_names else analyses
+    in
+    List.iter
+      (fun a ->
+        print_outcome (Run.run ?budget_s:(budget_opt budget) p (analysis_of_string a)))
+      analyses
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
+    Term.(const run $ program_arg $ analyses $ budget_arg)
+
+let callgraph_cmd =
+  let analysis =
+    Arg.(value & opt string "csc" & info [ "analysis"; "a" ] ~doc:"Analysis to use.")
+  in
+  let include_jdk =
+    Arg.(value & flag & info [ "include-jdk" ] ~doc:"Keep mini-JDK methods.")
+  in
+  let run spec analysis include_jdk =
+    let p = load_program spec in
+    let o = Run.run p (analysis_of_string analysis) in
+    match o.o_result with
+    | None -> Fmt.epr "analysis timed out@."
+    | Some r -> print_string (Csc_driver.Export.callgraph_dot ~include_jdk p r)
+  in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc:"Emit the call graph as Graphviz DOT on stdout")
+    Term.(const run $ program_arg $ analysis $ include_jdk)
+
+let pts_cmd =
+  let analysis =
+    Arg.(value & opt string "csc" & info [ "analysis"; "a" ] ~doc:"Analysis to use.")
+  in
+  let meth =
+    Arg.(value & opt (some string) None
+         & info [ "method"; "m" ] ~doc:"Restrict to one method, e.g. Main.main.")
+  in
+  let run spec analysis meth =
+    let p = load_program spec in
+    let o = Run.run p (analysis_of_string analysis) in
+    match o.o_result with
+    | None -> Fmt.epr "analysis timed out@."
+    | Some r -> Csc_driver.Export.pts_dump ?method_filter:meth p r Fmt.stdout
+  in
+  Cmd.v (Cmd.info "pts" ~doc:"Dump points-to sets")
+    Term.(const run $ program_arg $ analysis $ meth)
+
+let recall_cmd =
+  let run spec budget =
+    let p = load_program spec in
+    let reports =
+      Run.recall ?budget_s:(budget_opt budget) p
+        [ Run.Imp_ci; Run.Imp_csc; Run.Imp_2obj; Run.Doop_csc ]
+    in
+    Fmt.pr "%-14s %10s %10s@." "analysis" "methods" "edges";
+    List.iter
+      (fun (r : Run.recall_report) ->
+        Fmt.pr "%-14s %9.1f%% %9.1f%%@." r.rc_analysis (100. *. r.rc_methods)
+          (100. *. r.rc_edges))
+      reports
+  in
+  Cmd.v
+    (Cmd.info "recall" ~doc:"Recall experiment: dynamic vs static coverage")
+    Term.(const run $ program_arg $ budget_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "cutshortcut" ~version:"1.0.0"
+       ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
+    [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; recall_cmd;
+      callgraph_cmd; pts_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

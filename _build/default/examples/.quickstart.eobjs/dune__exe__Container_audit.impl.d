@@ -1,0 +1,1 @@
+examples/container_audit.ml: Array Csc_clients Csc_common Csc_core Csc_interp Csc_ir Csc_lang Csc_pta Fmt

@@ -1,0 +1,1 @@
+examples/container_audit.mli:

@@ -1,0 +1,1 @@
+examples/devirtualizer.ml: Csc_core Csc_ir Csc_lang Csc_pta Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Csc_common Csc_core Csc_interp Csc_ir Csc_lang Csc_pta Fmt List String

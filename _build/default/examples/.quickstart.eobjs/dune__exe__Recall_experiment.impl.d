@@ -1,0 +1,1 @@
+examples/recall_experiment.ml: Csc_clients Csc_common Csc_driver Csc_interp Csc_ir Csc_workloads Fmt List

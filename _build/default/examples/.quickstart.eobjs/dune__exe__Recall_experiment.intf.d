@@ -1,0 +1,1 @@
+examples/recall_experiment.mli:

@@ -1,0 +1,1 @@
+examples/taint_tracker.ml: Array Csc_common Csc_core Csc_ir Csc_lang Csc_pta Fmt List String

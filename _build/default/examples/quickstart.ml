@@ -1,0 +1,87 @@
+(** Quickstart: compile a MiniJava snippet, run context-insensitive and
+    Cut-Shortcut pointer analyses, and compare what a variable may point to.
+
+    Run with: dune exec examples/quickstart.exe *)
+
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+module Csc = Csc_core.Csc
+module Bits = Csc_common.Bits
+
+(* The paper's motivating example (Figure 1). *)
+let source =
+  {|
+class Item { }
+
+class Carton {
+  Item item;
+  void setItem(Item item) { this.item = item; }
+  Item getItem() {
+    Item r = this.item;
+    return r;
+  }
+}
+
+class Main {
+  static void main() {
+    Carton c1 = new Carton();
+    Item item1 = new Item();
+    c1.setItem(item1);
+    Item result1 = c1.getItem();
+
+    Carton c2 = new Carton();
+    Item item2 = new Item();
+    c2.setItem(item2);
+    Item result2 = c2.getItem();
+    System.print(result1);
+    System.print(result2);
+  }
+}
+|}
+
+let find_var (p : Ir.program) name =
+  let found = ref (-1) in
+  Array.iter
+    (fun (v : Ir.var) ->
+      if v.v_name = name && Ir.method_name p v.v_method = "Main.main" then
+        found := v.v_id)
+    p.vars;
+  !found
+
+let show (p : Ir.program) (r : Solver.result) var_name =
+  let v = find_var p var_name in
+  let allocs = r.r_pt v in
+  Fmt.pr "  pt(%s) under %-4s = {%s}@." var_name r.r_name
+    (String.concat ", "
+       (List.map
+          (fun a ->
+            let site = Ir.alloc p a in
+            Fmt.str "%s@line%d"
+              (match site.a_kind with
+              | `Class c -> Ir.class_name p c
+              | `Array _ -> "array"
+              | `String -> "String")
+              site.a_line)
+          (Bits.to_list allocs)))
+
+let () =
+  (* 1. compile: the mini-JDK is linked in automatically *)
+  let p = Csc_lang.Frontend.compile_string source in
+  Fmt.pr "compiled: %a@.@." Ir.pp_stats (Ir.stats p);
+
+  (* 2. the fast-but-imprecise baseline: Andersen context-insensitive *)
+  let ci = Solver.result (Solver.analyze p) in
+  Fmt.pr "Context insensitivity merges both cartons' items:@.";
+  show p ci "result1";
+  show p ci "result2";
+
+  (* 3. Cut-Shortcut: same solver, but the plugin cuts the PFG edges that
+     carry merged flows and adds precise shortcut edges instead *)
+  let csc = Solver.result (Solver.analyze ~plugin_of:Csc_core.Csc.plugin p) in
+  Fmt.pr "@.Cut-Shortcut separates them (without any contexts):@.";
+  show p csc "result1";
+  show p csc "result2";
+
+  (* 4. it also runs the program, if you want ground truth *)
+  let o = Csc_interp.Interp.run p in
+  Fmt.pr "@.Concrete run printed: %s@." (String.concat ", " o.output)

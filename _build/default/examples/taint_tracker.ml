@@ -1,0 +1,129 @@
+(** Taint tracking on top of pointer analysis — the "security analysis" use
+    case from the paper's introduction (FlowDroid-style, massively
+    simplified).
+
+    Sources are the allocations inside [Request.read*] (untrusted input);
+    sinks are the arguments of [Db.exec]. An object-flow from a source
+    allocation into a sink argument's points-to set is a potential injection.
+    Precision of the underlying pointer analysis translates directly into
+    fewer false alarms: context insensitivity merges the sanitized and
+    unsanitized pools, Cut-Shortcut keeps them apart.
+
+    Run with: dune exec examples/taint_tracker.exe *)
+
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+module Bits = Csc_common.Bits
+
+let source =
+  {|
+class Request {
+  Object readParam() {
+    Object raw = new Object();    // tainted allocation
+    return raw;
+  }
+}
+
+class Sanitizer {
+  static Object clean(Object dirty) {
+    Object safe = new Object();   // fresh, untainted copy
+    return safe;
+  }
+}
+
+class Db {
+  int execCount;
+  void exec(Object query) { this.execCount = this.execCount + 1; }
+}
+
+class App {
+  ArrayList cleanPool;
+  ArrayList rawPool;
+  App() {
+    this.cleanPool = new ArrayList();
+    this.rawPool = new ArrayList();
+  }
+
+  void ingest(Request req) {
+    Object p = req.readParam();
+    this.rawPool.add(p);
+    this.cleanPool.add(Sanitizer.clean(p));
+  }
+
+  void runSafe(Db db) {
+    Iterator it = this.cleanPool.iterator();
+    while (it.hasNext()) {
+      db.exec(it.next());         // only sanitized values: no alarm expected
+    }
+  }
+
+  void runDangerous(Db db) {
+    db.exec(this.rawPool.get(0)); // raw value: must alarm
+  }
+}
+
+class Main {
+  static void main() {
+    App app = new App();
+    app.ingest(new Request());
+    Db db = new Db();
+    app.runSafe(db);
+    app.runDangerous(db);
+    System.print(db.execCount);
+  }
+}
+|}
+
+(* taint sources: allocations inside Request.read* methods *)
+let source_allocs (p : Ir.program) : Bits.t =
+  let b = Bits.create () in
+  Array.iter
+    (fun (a : Ir.alloc_site) ->
+      let m = Ir.metho p a.a_method in
+      if
+        Ir.class_name p m.m_class = "Request"
+        && String.length m.m_name >= 4
+        && String.sub m.m_name 0 4 = "read"
+      then ignore (Bits.add b a.a_id))
+    p.allocs;
+  b
+
+(* sink arguments: every argument of a reachable call to Db.exec *)
+let sink_args (p : Ir.program) (r : Solver.result) : (Ir.call_id * Ir.var_id) list
+    =
+  List.concat_map
+    (fun (site, callee) ->
+      if Ir.method_name p callee = "Db.exec" then
+        Array.to_list (Ir.call p site).cs_args
+        |> List.map (fun arg -> (site, arg))
+      else [])
+    r.r_edges
+
+let report name (p : Ir.program) (r : Solver.result) =
+  let sources = source_allocs p in
+  let alarms =
+    List.filter
+      (fun (_, arg) -> Bits.inter_nonempty (r.r_pt arg) sources)
+      (sink_args p r)
+  in
+  Fmt.pr "%-6s: %d sink call(s) reachable, %d tainted@." name
+    (List.length (sink_args p r))
+    (List.length alarms);
+  List.iter
+    (fun (site, _) ->
+      Fmt.pr "    ! possible injection at line %d of %s@."
+        (Ir.call p site).cs_line
+        (Ir.method_name p (Ir.call p site).cs_method))
+    alarms
+
+let () =
+  let p = Csc_lang.Frontend.compile_string source in
+  Fmt.pr
+    "Taint client: Request.read* allocations -> Db.exec arguments@.@.";
+  report "ci" p (Solver.result (Solver.analyze p));
+  report "csc" p (Solver.result (Solver.analyze ~plugin_of:Csc_core.Csc.plugin p));
+  Fmt.pr
+    "@.CI merges the sanitized and raw pools inside ArrayList, flagging the@.";
+  Fmt.pr
+    "safe path too; Cut-Shortcut separates the pools and keeps only the@.";
+  Fmt.pr "true alarm in runDangerous().@."

@@ -1,0 +1,1 @@
+lib/clients/metrics.ml: Bits Csc_common Csc_ir Csc_pta Fmt Hashtbl List Option

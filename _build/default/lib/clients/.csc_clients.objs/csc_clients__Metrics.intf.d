@@ -1,0 +1,1 @@
+lib/clients/metrics.mli: Csc_common Csc_ir Csc_pta Format

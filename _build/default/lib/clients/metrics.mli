@@ -1,0 +1,38 @@
+(** The four precision clients of the paper's evaluation (§5), plus recall
+    scoring and one extension client. Engine-agnostic: both the imperative
+    and the Datalog analyses produce {!Csc_pta.Solver.result}. Smaller is
+    better on every metric. *)
+
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+
+type t = {
+  fail_cast : int;  (** reachable casts that may fail *)
+  reach_mtd : int;  (** reachable methods *)
+  poly_call : int;  (** virtual sites with >= 2 targets *)
+  call_edge : int;  (** call-graph edges *)
+}
+
+val compute : Ir.program -> Solver.result -> t
+val pp : Format.formatter -> t -> unit
+
+(** Extension client (not in the paper): reachable [instanceof] sites whose
+    outcome is not statically resolved. *)
+val unresolved_instanceof : Ir.program -> Solver.result -> int
+
+(** [better_or_equal a b] iff [a] is at least as precise as [b] on every
+    metric. *)
+val better_or_equal : t -> t -> bool
+
+type recall = {
+  recall_methods : float;  (** 1.0 = every dynamic method covered *)
+  recall_edges : float;
+}
+
+(** Recall of a static result against a dynamic run; a sound analysis scores
+    1.0 on both components. *)
+val recall :
+  Solver.result ->
+  dyn_reach:Csc_common.Bits.t ->
+  dyn_edges:(Ir.call_id * Ir.method_id) list ->
+  recall

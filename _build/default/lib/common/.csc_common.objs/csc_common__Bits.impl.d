@@ -1,0 +1,1 @@
+lib/common/bits.ml: Array Fmt List Sys

@@ -1,0 +1,1 @@
+lib/common/bits.mli: Format

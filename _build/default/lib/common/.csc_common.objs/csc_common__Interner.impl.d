@@ -1,0 +1,1 @@
+lib/common/interner.ml: Hashtbl Vec

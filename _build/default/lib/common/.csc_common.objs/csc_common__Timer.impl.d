@@ -1,0 +1,1 @@
+lib/common/timer.ml: Gc Sys Unix

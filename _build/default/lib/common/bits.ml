@@ -1,0 +1,162 @@
+(** Growable bitsets over dense non-negative ints.
+
+    These back every points-to set, host set and relation column in the
+    analyses, so the representation is kept flat: an [int array] of 63-bit
+    words plus a cached cardinality. All mutating operations keep the
+    cardinality exact. *)
+
+type t = {
+  mutable words : int array;
+  mutable card : int;
+}
+
+let word_bits = Sys.int_size (* 63 on 64-bit *)
+
+let create ?(capacity = 64) () =
+  let nwords = (capacity + word_bits - 1) / word_bits in
+  { words = Array.make (max nwords 1) 0; card = 0 }
+
+let ensure t i =
+  let w = i / word_bits in
+  if w >= Array.length t.words then begin
+    let n = ref (Array.length t.words * 2) in
+    while w >= !n do n := !n * 2 done;
+    let words = Array.make !n 0 in
+    Array.blit t.words 0 words 0 (Array.length t.words);
+    t.words <- words
+  end
+
+let mem t i =
+  let w = i / word_bits in
+  w < Array.length t.words
+  && t.words.(w) land (1 lsl (i mod word_bits)) <> 0
+
+(** [add t i] returns [true] iff [i] was not already present. *)
+let add t i =
+  ensure t i;
+  let w = i / word_bits and b = i mod word_bits in
+  let old = t.words.(w) in
+  let nw = old lor (1 lsl b) in
+  if nw = old then false
+  else begin
+    t.words.(w) <- nw;
+    t.card <- t.card + 1;
+    true
+  end
+
+let remove t i =
+  let w = i / word_bits and b = i mod word_bits in
+  if w < Array.length t.words then begin
+    let old = t.words.(w) in
+    let nw = old land lnot (1 lsl b) in
+    if nw <> old then begin
+      t.words.(w) <- nw;
+      t.card <- t.card - 1
+    end
+  end
+
+let cardinal t = t.card
+let is_empty t = t.card = 0
+
+let clear t =
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.card <- 0
+
+let copy t = { words = Array.copy t.words; card = t.card }
+
+let iter f t =
+  let words = t.words in
+  for w = 0 to Array.length words - 1 do
+    let x = ref words.(w) in
+    let base = w * word_bits in
+    while !x <> 0 do
+      let b = !x land - !x in
+      (* index of lowest set bit *)
+      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+      f (base + log2 b 0);
+      x := !x land lnot b
+    done
+  done
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i l -> i :: l) t [])
+
+let of_list l =
+  let t = create () in
+  List.iter (fun i -> ignore (add t i)) l;
+  t
+
+let exists p t =
+  try
+    iter (fun i -> if p i then raise Exit) t;
+    false
+  with Exit -> true
+
+let for_all p t = not (exists (fun i -> not (p i)) t)
+
+let choose t =
+  if is_empty t then None
+  else
+    let r = ref (-1) in
+    (try iter (fun i -> r := i; raise Exit) t with Exit -> ());
+    Some !r
+
+(** [union_into ~into src] adds every element of [src] to [into] and returns
+    the delta (elements newly added), or [None] when nothing changed. *)
+let union_into ~into src =
+  let delta = ref None in
+  let get_delta () =
+    match !delta with
+    | Some d -> d
+    | None ->
+      let d = create () in
+      delta := Some d;
+      d
+  in
+  let n = Array.length src.words in
+  ensure into ((n * word_bits) - 1);
+  for w = 0 to n - 1 do
+    let s = src.words.(w) and d = into.words.(w) in
+    let fresh = s land lnot d in
+    if fresh <> 0 then begin
+      into.words.(w) <- d lor fresh;
+      let x = ref fresh in
+      let cnt = ref 0 in
+      while !x <> 0 do
+        incr cnt;
+        x := !x land (!x - 1)
+      done;
+      into.card <- into.card + !cnt;
+      let dl = get_delta () in
+      ensure dl ((w + 1) * word_bits - 1);
+      dl.words.(w) <- fresh;
+      dl.card <- dl.card + !cnt
+    end
+  done;
+  !delta
+
+let inter_nonempty a b =
+  let n = min (Array.length a.words) (Array.length b.words) in
+  let rec go w = w < n && (a.words.(w) land b.words.(w) <> 0 || go (w + 1)) in
+  go 0
+
+let equal a b =
+  let n = max (Array.length a.words) (Array.length b.words) in
+  let word t w = if w < Array.length t.words then t.words.(w) else 0 in
+  a.card = b.card
+  &&
+  let rec go w = w >= n || (word a w = word b w && go (w + 1)) in
+  go 0
+
+let subset a b =
+  let word t w = if w < Array.length t.words then t.words.(w) else 0 in
+  let n = Array.length a.words in
+  let rec go w = w >= n || (word a w land lnot (word b w) = 0 && go (w + 1)) in
+  go 0
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (to_list t)

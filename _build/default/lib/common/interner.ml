@@ -1,0 +1,27 @@
+(** Generic hash-consing of values into dense ids, plus reverse lookup.
+
+    Every entity in the system (class names, method signatures, pointers,
+    contexts, abstract objects) is interned through one of these so the rest
+    of the code can use arrays and bitsets keyed by int. *)
+
+type 'a t = {
+  tbl : ('a, int) Hashtbl.t;
+  back : 'a Vec.t;
+}
+
+let create ?(capacity = 64) dummy =
+  { tbl = Hashtbl.create capacity; back = Vec.create ~capacity dummy }
+
+let intern t x =
+  match Hashtbl.find_opt t.tbl x with
+  | Some i -> i
+  | None ->
+    let i = Vec.push_idx t.back x in
+    Hashtbl.add t.tbl x i;
+    i
+
+let find_opt t x = Hashtbl.find_opt t.tbl x
+let mem t x = Hashtbl.mem t.tbl x
+let get t i = Vec.get t.back i
+let count t = Vec.length t.back
+let iteri f t = Vec.iteri f t.back

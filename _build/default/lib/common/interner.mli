@@ -1,0 +1,23 @@
+(** Generic hash-consing of values into dense ids with reverse lookup.
+
+    Every entity in the system (names, pointers, contexts, abstract objects)
+    is interned so the rest of the code can use arrays and bitsets keyed by
+    int. Ids are assigned densely from 0 in first-interning order. *)
+
+type 'a t
+
+(** [create ?capacity dummy] — [dummy] backs the reverse table's growth and
+    is never returned for a valid id. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+(** Id of [x], interning it if new. *)
+val intern : 'a t -> 'a -> int
+
+val find_opt : 'a t -> 'a -> int option
+val mem : 'a t -> 'a -> bool
+
+(** Reverse lookup; undefined for ids never returned by [intern]. *)
+val get : 'a t -> int -> 'a
+
+val count : 'a t -> int
+val iteri : (int -> 'a -> unit) -> 'a t -> unit

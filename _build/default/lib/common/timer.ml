@@ -1,0 +1,39 @@
+(** Wall-clock timing helpers and analysis budgets. *)
+
+let now () = Unix.gettimeofday ()
+
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+(** Budgets let long analyses abort, reproducing the paper's ">2h" cells.
+    Besides the deadline, a major-heap cap guards against analyses that
+    exhaust memory before they exhaust time (the paper's machine had 128 GB;
+    context-sensitive analyses routinely hit whichever limit comes first). *)
+type budget = {
+  deadline : float option;
+  max_heap_words : int option;
+}
+
+let no_budget = { deadline = None; max_heap_words = None }
+
+(** [budget_of_seconds ?max_gb s]: expires [s] seconds from now or when the
+    OCaml major heap exceeds [max_gb] (default 4.0) gigabytes. *)
+let budget_of_seconds ?(max_gb = 4.0) s =
+  {
+    deadline = Some (now () +. s);
+    max_heap_words =
+      Some (int_of_float (max_gb *. 1024. *. 1024. *. 1024. /. float (Sys.word_size / 8)));
+  }
+
+exception Out_of_budget
+
+let check b =
+  (match b.deadline with
+  | Some d when now () > d -> raise Out_of_budget
+  | _ -> ());
+  match b.max_heap_words with
+  | Some cap when (Gc.quick_stat ()).heap_words > cap -> raise Out_of_budget
+  | _ -> ()

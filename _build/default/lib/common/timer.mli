@@ -1,0 +1,25 @@
+(** Wall-clock timing and analysis budgets.
+
+    Budgets reproduce the paper's ">2h" timeout cells: long-running analyses
+    call {!check} periodically and abort with {!Out_of_budget} past the
+    deadline. *)
+
+val now : unit -> float
+
+(** [time f] runs [f ()]; returns its result and the elapsed seconds. *)
+val time : (unit -> 'a) -> 'a * float
+
+type budget
+
+(** Never expires. *)
+val no_budget : budget
+
+(** Expires [s] seconds from now, or as soon as the OCaml major heap exceeds
+    [max_gb] (default 4.0) gigabytes — analyses that exhaust memory count as
+    unscalable, like the paper's ">2h" entries. *)
+val budget_of_seconds : ?max_gb:float -> float -> budget
+
+exception Out_of_budget
+
+(** Raises {!Out_of_budget} iff the deadline has passed. *)
+val check : budget -> unit

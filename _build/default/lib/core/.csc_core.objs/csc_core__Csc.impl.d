@@ -1,0 +1,1 @@
+lib/core/csc.ml: Array Bits Csc_common Csc_ir Csc_pta Hashtbl Interner List Option Printf Spec Static

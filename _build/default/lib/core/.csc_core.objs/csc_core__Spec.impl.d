@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Bits Csc_common Csc_ir Fmt Hashtbl List Option

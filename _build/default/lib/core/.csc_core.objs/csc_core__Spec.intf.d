@@ -1,0 +1,1 @@
+lib/core/spec.mli: Bits Csc_common Csc_ir Format Hashtbl

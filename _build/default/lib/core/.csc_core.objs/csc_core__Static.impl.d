@@ -1,0 +1,1 @@
+lib/core/static.ml: Array Bits Csc_common Csc_ir Hashtbl List Option

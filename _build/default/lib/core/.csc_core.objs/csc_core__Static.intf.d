@@ -1,0 +1,1 @@
+lib/core/static.mli: Bits Csc_common Csc_ir Hashtbl

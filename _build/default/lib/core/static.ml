@@ -1,0 +1,278 @@
+(** Static (IR-only) ingredients of the three Cut-Shortcut patterns:
+
+    - the [Arg2Var]/def-count test ("parameter never redefined", Figure 8);
+    - the per-method field-store patterns seeding [cutStores]/[tempStores];
+    - the per-method field-load patterns seeding [tempLoads], plus a
+      CHA-based closure that over-approximates which return variables the
+      load pattern may cut ([cutReturns] must be decided before any return
+      edge is added — over-cutting is sound because every uncovered in-edge
+      of a cut return variable is relayed, see [Csc.relay]);
+    - the local-flow analysis [Param2Var]/[Param2VarRec] (Figure 11). *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+
+(** Parameter index of a variable: 0 for [this], k for the k-th parameter —
+    [None] if the variable is not a parameter or is redefined in the body
+    (i.e. the [def_x = ∅] premise of [Arg2Var] fails). *)
+let param_index (p : Ir.program) (v : Ir.var_id) : int option =
+  if p.def_counts.(v) > 0 then None
+  else
+    match (Ir.var p v).v_kind with
+    | `This -> Some 0
+    | `Param k -> Some k
+    | _ -> None
+
+let is_unredefined_param p v = param_index p v <> None
+
+(** The variable at argument position [k] of a call site (0 = receiver). *)
+let arg_at (_p : Ir.program) (cs : Ir.call_site) (k : int) : Ir.var_id option =
+  if k = 0 then cs.cs_recv
+  else if k <= Array.length cs.cs_args then Some cs.cs_args.(k - 1)
+  else None
+
+(* ------------------------------------------------------- store patterns *)
+
+(** Store patterns of a method: [(k_base, field, k_rhs)] for each statement
+    [x.f = y] whose base and rhs are both never-redefined parameters. These
+    statements are exactly [cutStores] (Figure 8, [CutStores]). *)
+let store_patterns (p : Ir.program) (m : Ir.metho) : (int * Ir.field_id * int) list
+    =
+  let acc = ref [] in
+  Ir.iter_stmts
+    (fun s ->
+      match s with
+      | Store { base; fld; rhs } -> (
+        match (param_index p base, param_index p rhs) with
+        | Some k1, Some k2 when not (List.mem (k1, fld, k2) !acc) ->
+          acc := (k1, fld, k2) :: !acc
+        | _ -> ())
+      | _ -> ())
+    m.m_body;
+  !acc
+
+let is_cut_store (p : Ir.program) ~(base : Ir.var_id) ~(rhs : Ir.var_id) : bool =
+  is_unredefined_param p base && is_unredefined_param p rhs
+
+(* -------------------------------------------------------- load patterns *)
+
+(** Load patterns of a method: [(k_base, field)] for statements
+    [ret = base.f] where [base] is a never-redefined parameter and [ret] is
+    the method's (single) return variable ([CutPropLoad], base case). *)
+let load_patterns (p : Ir.program) (m : Ir.metho) : (int * Ir.field_id) list =
+  match m.m_ret_var with
+  | None -> []
+  | Some rv ->
+    let acc = ref [] in
+    Ir.iter_stmts
+      (fun s ->
+        match s with
+        | Load { lhs; base; fld } when lhs = rv -> (
+          match param_index p base with
+          | Some k when not (List.mem (k, fld) !acc) -> acc := (k, fld) :: !acc
+          | _ -> ())
+        | _ -> ())
+      m.m_body;
+    !acc
+
+(** CHA possible callees of a call site. *)
+let cha_callees (p : Ir.program) (cs : Ir.call_site) : Ir.method_id list =
+  match cs.cs_kind with
+  | Static | Special -> [ cs.cs_target ]
+  | Virtual ->
+    let tgt = Ir.metho p cs.cs_target in
+    let name = tgt.m_name in
+    let acc = ref [] in
+    Bits.iter
+      (fun sub ->
+        match Ir.dispatch p sub name with
+        | Some m when not (List.mem m !acc) -> acc := m :: !acc
+        | _ -> ())
+      p.subtypes.(tgt.m_class);
+    !acc
+
+(** Static pre-computation for the field-load pattern.
+
+    [cutReturns] must be decided before the solver adds any return edge, so
+    we over-approximate the dynamic [CutPropLoad] fixpoint with a CHA-based
+    closure over (parameter-index, field) patterns: a method gains pattern
+    (k', f) if its return variable is the LHS of a call site some CHA callee
+    of which has a pattern (k, f) whose base argument at that site is the
+    method's never-redefined parameter k'. Over-cutting is sound because
+    uncovered in-edges of a cut return variable are relayed ([RelayEdge]).
+
+    We also pre-compute, per (method, field), whether the returnLoadEdges
+    classification is unambiguous: an in-edge [o.f -> ret] may be skipped by
+    [RelayEdge] only when exactly one mechanism can produce such edges —
+    either the single in-method load of [f] ([ls_static_ok]) or a single
+    call site whose callees may be cut ([ls_site_ok]); otherwise edges are
+    conservatively relayed. *)
+type load_info = {
+  li_pats : (Ir.method_id, (int * Ir.field_id) list) Hashtbl.t;
+      (** closure patterns (includes the static in-method ones) *)
+  li_cut : Bits.t;
+  li_static_ok : (Ir.method_id * Ir.field_id, unit) Hashtbl.t;
+  li_site_ok : (Ir.call_id * Ir.field_id, unit) Hashtbl.t;
+}
+
+let load_info (p : Ir.program) : load_info =
+  let li_pats = Hashtbl.create 64 in
+  Array.iter
+    (fun (m : Ir.metho) ->
+      match load_patterns p m with
+      | [] -> ()
+      | pats -> Hashtbl.replace li_pats m.m_id pats)
+    p.methods;
+  (* ret-lhs call sites per method *)
+  let ret_calls : (Ir.method_id, Ir.call_site list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (cs : Ir.call_site) ->
+      let m = Ir.metho p cs.cs_method in
+      match (cs.cs_lhs, m.m_ret_var) with
+      | Some l, Some rv when l = rv ->
+        Hashtbl.replace ret_calls cs.cs_method
+          (cs :: Option.value ~default:[] (Hashtbl.find_opt ret_calls cs.cs_method))
+      | _ -> ())
+    p.calls;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun mid css ->
+        List.iter
+          (fun (cs : Ir.call_site) ->
+            List.iter
+              (fun callee ->
+                List.iter
+                  (fun (k, fld) ->
+                    match arg_at p cs k with
+                    | Some a -> (
+                      match param_index p a with
+                      | Some k' ->
+                        let cur =
+                          Option.value ~default:[] (Hashtbl.find_opt li_pats mid)
+                        in
+                        if not (List.mem (k', fld) cur) then begin
+                          Hashtbl.replace li_pats mid ((k', fld) :: cur);
+                          changed := true
+                        end
+                      | None -> ())
+                    | None -> ())
+                  (Option.value ~default:[] (Hashtbl.find_opt li_pats callee)))
+              (cha_callees p cs))
+          css)
+      ret_calls
+  done;
+  let li_cut = Bits.create () in
+  Hashtbl.iter (fun m _ -> ignore (Bits.add li_cut m)) li_pats;
+  (* classification guards: per (method, field), list the mechanisms that
+     can generate [·.f -> ret] edges *)
+  let li_static_ok = Hashtbl.create 64 in
+  let li_site_ok = Hashtbl.create 64 in
+  Array.iter
+    (fun (m : Ir.metho) ->
+      match m.m_ret_var with
+      | None -> ()
+      | Some rv ->
+        (* loads of each field into rv *)
+        let load_srcs : (Ir.field_id, Ir.var_id list) Hashtbl.t = Hashtbl.create 4 in
+        Ir.iter_stmts
+          (fun s ->
+            match s with
+            | Load { lhs; base; fld } when lhs = rv ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt load_srcs fld) in
+              if not (List.mem base cur) then Hashtbl.replace load_srcs fld (base :: cur)
+            | _ -> ())
+          m.m_body;
+        (* call sites with lhs = rv whose CHA callees may be cut: these can
+           inject arbitrary-field shortcut/relay edges into rv *)
+        let cut_sites =
+          List.filter
+            (fun cs -> List.exists (Bits.mem li_cut) (cha_callees p cs))
+            (Option.value ~default:[] (Hashtbl.find_opt ret_calls m.m_id))
+        in
+        (* static classification: single load of f, base is a parameter, and
+           no cut call site can interfere *)
+        Hashtbl.iter
+          (fun fld bases ->
+            match bases with
+            | [ b ] when param_index p b <> None && cut_sites = [] ->
+              Hashtbl.replace li_static_ok (m.m_id, fld) ()
+            | _ -> ())
+          load_srcs;
+        (* site classification: a single cut call site and no load of f *)
+        (match cut_sites with
+        | [ cs ] ->
+          (* any field a callee pattern might carry is fine as long as no
+             load of that field into rv exists *)
+          List.iter
+            (fun callee ->
+              List.iter
+                (fun (_, fld) ->
+                  if not (Hashtbl.mem load_srcs fld) then
+                    Hashtbl.replace li_site_ok (cs.cs_id, fld) ())
+                (Option.value ~default:[] (Hashtbl.find_opt li_pats callee)))
+            (cha_callees p cs)
+        | _ -> ()))
+    p.methods;
+  { li_pats; li_cut; li_static_ok; li_site_ok }
+
+(* ------------------------------------------------------------ local flow *)
+
+(** Local-flow analysis of one method ([Param2Var], [Param2VarRec]): for the
+    return variable, the set of parameter indices its values may come from,
+    or [None] if some value may come from a non-parameter source. *)
+let local_flow_sources (p : Ir.program) (m : Ir.metho) : int list option =
+  match m.m_ret_var with
+  | None -> None
+  | Some rv ->
+    if not (Ir.is_ref_type (Ir.var p rv).v_ty) then None
+    else begin
+      (* defs per var, restricted to this method's body *)
+      let defs : (Ir.var_id, Ir.stmt list) Hashtbl.t = Hashtbl.create 16 in
+      Ir.iter_stmts
+        (fun s ->
+          match Ir.def_of s with
+          | Some v ->
+            Hashtbl.replace defs v (s :: Option.value ~default:[] (Hashtbl.find_opt defs v))
+          | None -> ())
+        m.m_body;
+      (* pure(x) + param sources, least fixpoint over copy chains *)
+      let pure : (Ir.var_id, int list) Hashtbl.t = Hashtbl.create 16 in
+      (match m.m_this with
+      | Some this when not (Hashtbl.mem defs this) -> Hashtbl.replace pure this [ 0 ]
+      | _ -> ());
+      Array.iteri
+        (fun i v ->
+          if not (Hashtbl.mem defs v) then Hashtbl.replace pure v [ i + 1 ])
+        m.m_params;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Hashtbl.iter
+          (fun v ds ->
+            if not (Hashtbl.mem pure v) then begin
+              let ok = ref true in
+              let srcs = ref [] in
+              List.iter
+                (fun (s : Ir.stmt) ->
+                  match s with
+                  | Copy { rhs; _ } -> (
+                    match Hashtbl.find_opt pure rhs with
+                    | Some ks ->
+                      List.iter
+                        (fun k -> if not (List.mem k !srcs) then srcs := k :: !srcs)
+                        ks
+                    | None -> ok := false)
+                  | ConstNull _ -> () (* null adds no object sources *)
+                  | _ -> ok := false)
+                ds;
+              if !ok then begin
+                Hashtbl.replace pure v !srcs;
+                changed := true
+              end
+            end)
+          defs
+      done;
+      Hashtbl.find_opt pure rv
+    end

@@ -1,0 +1,1 @@
+lib/datalog/analysis.ml: Array Bits Csc_common Csc_ir Csc_pta Engine Facts Hashtbl Interner Printf Timer

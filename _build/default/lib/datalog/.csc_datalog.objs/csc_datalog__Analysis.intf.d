@@ -1,0 +1,1 @@
+lib/datalog/analysis.mli: Bits Csc_common Csc_ir Csc_pta Timer

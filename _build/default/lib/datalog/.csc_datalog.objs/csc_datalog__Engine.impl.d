@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Csc_common Fmt Fun Hashtbl List Option String Sys Timer

@@ -1,0 +1,1 @@
+lib/datalog/facts.ml: Array Bits Csc_common Csc_core Csc_ir Engine Hashtbl Interner List

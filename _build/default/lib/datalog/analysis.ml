@@ -1,0 +1,437 @@
+(** The declarative pointer analyses (the Doop analog, DESIGN.md S5):
+    Andersen context-insensitive analysis, Cut-Shortcut, and context
+    sensitivity (2obj / 2type / selective 2obj) expressed as Datalog rules
+    over the EDB of {!Facts}.
+
+    Faithful to the paper's Doop implementation, the declarative Cut-Shortcut
+    omits the field-*load* pattern ([CutPropLoad] needs negation inside the
+    recursive cycle, §5 "Implementation"); its [cutStores]/[cutReturns] are
+    static relations of stratum 0, so every negation is stratified. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+module E = Engine
+open E
+
+let v x = V x
+let c x = C x
+
+type kind =
+  | Ci
+  | Csc_doop  (** store + container + local-flow patterns, no load pattern *)
+  | Obj2
+  | Type2
+  | Selective2obj of Bits.t  (** Zipper^e main analysis: selected methods *)
+
+let kind_name = function
+  | Ci -> "doop-ci"
+  | Csc_doop -> "doop-csc"
+  | Obj2 -> "doop-2obj"
+  | Type2 -> "doop-2type"
+  | Selective2obj _ -> "doop-zipper-e"
+
+(* ------------------------------------------------------- CI core rules *)
+
+let ci_rules (t : E.t) =
+  let r h b = add_rule t (h <-- b) in
+  r (atom "Reachable" [ v "M" ]) [ atom "EntryMethod" [ v "M" ] ];
+  r (atom "VPT" [ v "V"; v "H" ])
+    [ atom "Reachable" [ v "M" ]; atom "AllocIn" [ v "M"; v "V"; v "H" ] ];
+  r (atom "VPT" [ v "To"; v "H" ])
+    [ atom "Assign" [ v "To"; v "From" ]; atom "VPT" [ v "From"; v "H" ] ];
+  r (atom "VPT" [ v "To"; v "H" ])
+    [ atom "CastAssign" [ v "To"; v "From"; v "X" ];
+      atom "VPT" [ v "From"; v "H" ]; atom "CastOk" [ v "X"; v "H" ] ];
+  (* field store, suppressed for cutStores *)
+  r (atom "FPT" [ v "H"; v "F"; v "H2" ])
+    [ atom "Store" [ v "S"; v "B"; v "F"; v "Y" ];
+      atom ~neg:true "CutStore" [ v "S" ];
+      atom "VPT" [ v "B"; v "H" ]; atom "VPT" [ v "Y"; v "H2" ] ];
+  r (atom "VPT" [ v "To"; v "H2" ])
+    [ atom "Load" [ v "To"; v "B"; v "F" ]; atom "VPT" [ v "B"; v "H" ];
+      atom "FPT" [ v "H"; v "F"; v "H2" ] ];
+  (* arrays *)
+  r (atom "APT" [ v "H"; v "H2" ])
+    [ atom "AStoreR" [ v "Arr"; v "Y" ]; atom "VPT" [ v "Arr"; v "H" ];
+      atom "HeapIsArray" [ v "H" ]; atom "VPT" [ v "Y"; v "H2" ] ];
+  r (atom "VPT" [ v "To"; v "H2" ])
+    [ atom "ALoadR" [ v "To"; v "Arr" ]; atom "VPT" [ v "Arr"; v "H" ];
+      atom "APT" [ v "H"; v "H2" ] ];
+  (* statics *)
+  r (atom "SPT" [ v "F"; v "H" ])
+    [ atom "SStoreR" [ v "F"; v "Y" ]; atom "VPT" [ v "Y"; v "H" ] ];
+  r (atom "VPT" [ v "To"; v "H" ])
+    [ atom "SLoadR" [ v "To"; v "F" ]; atom "SPT" [ v "F"; v "H" ] ];
+  (* calls: virtual dispatch *)
+  r (atom "VDisp" [ v "Site"; v "H"; v "Callee" ])
+    [ atom "Reachable" [ v "M" ];
+      atom "VCallIn" [ v "M"; v "Site"; v "Recv"; v "Name" ];
+      atom "VPT" [ v "Recv"; v "H" ]; atom "HeapClass" [ v "H"; v "C" ];
+      atom "Dispatch" [ v "C"; v "Name"; v "Callee" ] ];
+  r (atom "CallEdge" [ v "Site"; v "Callee" ])
+    [ atom "VDisp" [ v "Site"; v "H"; v "Callee" ] ];
+  r (atom "VPT" [ v "This"; v "H" ])
+    [ atom "VDisp" [ v "Site"; v "H"; v "Callee" ];
+      atom "FormalParam" [ v "Callee"; c 0; v "This" ] ];
+  (* calls: constructors *)
+  r (atom "CallEdge" [ v "Site"; v "Callee" ])
+    [ atom "Reachable" [ v "M" ];
+      atom "SpecialIn" [ v "M"; v "Site"; v "Recv"; v "Callee" ] ];
+  r (atom "VPT" [ v "This"; v "H" ])
+    [ atom "Reachable" [ v "M" ];
+      atom "SpecialIn" [ v "M"; v "Site"; v "Recv"; v "Callee" ];
+      atom "VPT" [ v "Recv"; v "H" ];
+      atom "FormalParam" [ v "Callee"; c 0; v "This" ] ];
+  (* calls: statics *)
+  r (atom "CallEdge" [ v "Site"; v "Callee" ])
+    [ atom "Reachable" [ v "M" ];
+      atom "StaticIn" [ v "M"; v "Site"; v "Callee" ] ];
+  r (atom "Reachable" [ v "Callee" ]) [ atom "CallEdge" [ v "Site"; v "Callee" ] ];
+  (* parameter passing *)
+  r (atom "VPT" [ v "P"; v "H" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom "ArgVar" [ v "Site"; v "K"; v "A" ];
+      atom "FormalParam" [ v "Callee"; v "K"; v "P" ];
+      atom "VPT" [ v "A"; v "H" ] ];
+  (* returns, suppressed for cutReturns *)
+  r (atom "VPT" [ v "Lhs"; v "H" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom ~neg:true "CutReturn" [ v "Callee" ];
+      atom "CallLhs" [ v "Site"; v "Lhs" ];
+      atom "MethodRet" [ v "Callee"; v "Ret" ]; atom "VPT" [ v "Ret"; v "H" ] ]
+
+(* ------------------------------------------------ Cut-Shortcut rules *)
+
+let csc_rules (t : E.t) =
+  let r h b = add_rule t (h <-- b) in
+  (* ---- field store pattern (Fig. 8) ---- *)
+  r (atom "TempStore" [ v "M"; v "K1"; v "F"; v "K2" ])
+    [ atom "StorePattern" [ v "M"; v "K1"; v "F"; v "K2" ] ];
+  (* PropStore: both arguments are never-redefined caller parameters *)
+  r (atom "TempStore" [ v "M2"; v "K1p"; v "F"; v "K2p" ])
+    [ atom "TempStore" [ v "M"; v "K1"; v "F"; v "K2" ];
+      atom "CallEdge" [ v "Site"; v "M" ]; atom "SiteIn" [ v "Site"; v "M2" ];
+      atom "ArgParamIdx" [ v "Site"; v "K1"; v "K1p" ];
+      atom "ArgParamIdx" [ v "Site"; v "K2"; v "K2p" ] ];
+  (* ShortcutStore: propagation stops at this call site *)
+  r (atom "SCStore" [ v "Site"; v "K1"; v "F"; v "K2" ])
+    [ atom "TempStore" [ v "M"; v "K1"; v "F"; v "K2" ];
+      atom "CallEdge" [ v "Site"; v "M" ];
+      atom "ArgNotParam" [ v "Site"; v "K1" ] ];
+  r (atom "SCStore" [ v "Site"; v "K1"; v "F"; v "K2" ])
+    [ atom "TempStore" [ v "M"; v "K1"; v "F"; v "K2" ];
+      atom "CallEdge" [ v "Site"; v "M" ];
+      atom "ArgNotParam" [ v "Site"; v "K2" ] ];
+  r (atom "FPT" [ v "H"; v "F"; v "H2" ])
+    [ atom "SCStore" [ v "Site"; v "K1"; v "F"; v "K2" ];
+      atom "ArgOrRecv" [ v "Site"; v "K1"; v "B" ];
+      atom "ArgOrRecv" [ v "Site"; v "K2"; v "Y" ];
+      atom "VPT" [ v "B"; v "H" ]; atom "VPT" [ v "Y"; v "H2" ] ];
+  (* ---- local flow pattern (Fig. 11) ---- *)
+  r (atom "VPT" [ v "Lhs"; v "H" ])
+    [ atom "CallEdge" [ v "Site"; v "M" ]; atom "LFlowSrc" [ v "M"; v "K" ];
+      atom "CallLhs" [ v "Site"; v "Lhs" ];
+      atom "ArgOrRecv" [ v "Site"; v "K"; v "A" ]; atom "VPT" [ v "A"; v "H" ] ];
+  (* ---- container pattern (Fig. 10) ---- *)
+  (* ColHost / MapHost *)
+  r (atom "PtHV" [ v "V"; v "HH" ])
+    [ atom "VPT" [ v "V"; v "HH" ]; atom "HostHeap" [ v "HH" ] ];
+  (* PropHost along each PFG edge family *)
+  r (atom "PtHV" [ v "To"; v "HH" ])
+    [ atom "Assign" [ v "To"; v "From" ]; atom "PtHV" [ v "From"; v "HH" ] ];
+  r (atom "PtHV" [ v "To"; v "HH" ])
+    [ atom "CastAssign" [ v "To"; v "From"; v "X" ];
+      atom "PtHV" [ v "From"; v "HH" ] ];
+  r (atom "PtHF" [ v "H"; v "F"; v "HH" ])
+    [ atom "Store" [ v "S"; v "B"; v "F"; v "Y" ];
+      atom ~neg:true "CutStore" [ v "S" ]; atom "VPT" [ v "B"; v "H" ];
+      atom "PtHV" [ v "Y"; v "HH" ] ];
+  r (atom "PtHV" [ v "To"; v "HH" ])
+    [ atom "Load" [ v "To"; v "B"; v "F" ]; atom "VPT" [ v "B"; v "H" ];
+      atom "PtHF" [ v "H"; v "F"; v "HH" ] ];
+  r (atom "PtHA" [ v "H"; v "HH" ])
+    [ atom "AStoreR" [ v "Arr"; v "Y" ]; atom "VPT" [ v "Arr"; v "H" ];
+      atom "PtHV" [ v "Y"; v "HH" ] ];
+  r (atom "PtHV" [ v "To"; v "HH" ])
+    [ atom "ALoadR" [ v "To"; v "Arr" ]; atom "VPT" [ v "Arr"; v "H" ];
+      atom "PtHA" [ v "H"; v "HH" ] ];
+  r (atom "PtHS" [ v "F"; v "HH" ])
+    [ atom "SStoreR" [ v "F"; v "Y" ]; atom "PtHV" [ v "Y"; v "HH" ] ];
+  r (atom "PtHV" [ v "To"; v "HH" ])
+    [ atom "SLoadR" [ v "To"; v "F" ]; atom "PtHS" [ v "F"; v "HH" ] ];
+  r (atom "PtHV" [ v "P"; v "HH" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom "ArgVar" [ v "Site"; v "K"; v "A" ];
+      atom "FormalParam" [ v "Callee"; v "K"; v "P" ];
+      atom "PtHV" [ v "A"; v "HH" ] ];
+  r (atom "PtHV" [ v "This"; v "HH" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom "SiteRecv" [ v "Site"; v "Recv" ];
+      atom "FormalParam" [ v "Callee"; c 0; v "This" ];
+      atom "PtHV" [ v "Recv"; v "HH" ] ];
+  (* PropHost along return edges, excluding Transfers and cut returns *)
+  r (atom "PtHV" [ v "Lhs"; v "HH" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom ~neg:true "TransferR" [ v "Callee" ];
+      atom ~neg:true "CutReturn" [ v "Callee" ];
+      atom "CallLhs" [ v "Site"; v "Lhs" ];
+      atom "MethodRet" [ v "Callee"; v "Ret" ]; atom "PtHV" [ v "Ret"; v "HH" ] ];
+  (* TransferHost *)
+  r (atom "PtHV" [ v "Lhs"; v "HH" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ]; atom "TransferR" [ v "Callee" ];
+      atom "SiteRecv" [ v "Site"; v "Recv" ]; atom "CallLhs" [ v "Site"; v "Lhs" ];
+      atom "PtHV" [ v "Recv"; v "HH" ] ];
+  (* HostSource / HostTarget / ShortcutContainer *)
+  r (atom "SrcOf" [ v "HH"; v "Cat"; v "A" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom "Entrance" [ v "Callee"; v "K"; v "Cat" ];
+      atom "SiteRecv" [ v "Site"; v "Recv" ]; atom "PtHV" [ v "Recv"; v "HH" ];
+      atom "ArgOrRecv" [ v "Site"; v "K"; v "A" ] ];
+  r (atom "TgtOf" [ v "HH"; v "Cat"; v "Lhs" ])
+    [ atom "CallEdge" [ v "Site"; v "Callee" ];
+      atom "ExitR" [ v "Callee"; v "Cat" ];
+      atom "SiteRecv" [ v "Site"; v "Recv" ]; atom "PtHV" [ v "Recv"; v "HH" ];
+      atom "CallLhs" [ v "Site"; v "Lhs" ] ];
+  r (atom "VPT" [ v "T"; v "H" ])
+    [ atom "SrcOf" [ v "HH"; v "Cat"; v "S" ];
+      atom "TgtOf" [ v "HH"; v "Cat"; v "T" ]; atom "VPT" [ v "S"; v "H" ] ];
+  (* PropHost along shortcut edges *)
+  r (atom "PtHV" [ v "T"; v "HH2" ])
+    [ atom "SrcOf" [ v "HH"; v "Cat"; v "S" ];
+      atom "TgtOf" [ v "HH"; v "Cat"; v "T" ]; atom "PtHV" [ v "S"; v "HH2" ] ];
+  r (atom "PtHV" [ v "Lhs"; v "HH" ])
+    [ atom "CallEdge" [ v "Site"; v "M" ]; atom "LFlowSrc" [ v "M"; v "K" ];
+      atom "CallLhs" [ v "Site"; v "Lhs" ];
+      atom "ArgOrRecv" [ v "Site"; v "K"; v "A" ]; atom "PtHV" [ v "A"; v "HH" ] ];
+  r (atom "PtHF" [ v "H"; v "F"; v "HH" ])
+    [ atom "SCStore" [ v "Site"; v "K1"; v "F"; v "K2" ];
+      atom "ArgOrRecv" [ v "Site"; v "K1"; v "B" ];
+      atom "ArgOrRecv" [ v "Site"; v "K2"; v "Y" ];
+      atom "VPT" [ v "B"; v "H" ]; atom "PtHV" [ v "Y"; v "HH" ] ]
+
+(* When Cut-Shortcut is off, the cut relations must stay empty: CI declares
+   them (via Facts.load ~csc:false) and never populates them. *)
+
+(* --------------------------------------- context-sensitive rules (2obj+) *)
+
+(* Contexts and context-sensitive objects are interned on the fly through
+   builtin functors, like Doop's context constructors. *)
+
+type cs_policy = {
+  cp_name : string;
+  cp_obj_elem : Ir.program -> Ir.alloc_id -> int;
+      (** context element contributed by a receiver object's allocation:
+          the allocation site (object sensitivity) or the class containing
+          it (type sensitivity) *)
+  cp_selected : Ir.method_id -> bool;
+}
+
+let policy_2obj : cs_policy =
+  { cp_name = "2obj"; cp_obj_elem = (fun _ a -> a); cp_selected = (fun _ -> true) }
+
+let policy_2type : cs_policy =
+  {
+    cp_name = "2type";
+    cp_obj_elem =
+      (fun p a -> (Ir.metho p (Ir.alloc p a).a_method).m_class);
+    cp_selected = (fun _ -> true);
+  }
+
+let policy_selective (selected : Bits.t) : cs_policy =
+  { policy_2obj with cp_name = "sel-2obj"; cp_selected = Bits.mem selected }
+
+let cs_rules (t : E.t) (p : Ir.program) (pol : cs_policy) =
+  let k_limit = 2 and hk_limit = 1 in
+  let ctxs : int list Interner.t = Interner.create [] in
+  let objs : (int * int) Interner.t = Interner.create (-1, -1) in
+  let empty_ctx = Interner.intern ctxs [] in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: r -> x :: take (k - 1) r
+  in
+  (* builtins *)
+  add_builtin t "mkobj" (fun args ->
+      (* mkobj(C, H) -> O : allocate H under method context C *)
+      let mctx = args.(0) and h = args.(1) in
+      let hctx =
+        if pol.cp_selected (Ir.alloc p h).a_method then
+          Interner.intern ctxs (take hk_limit (Interner.get ctxs mctx))
+        else empty_ctx
+      in
+      Interner.intern objs (hctx, h));
+  add_builtin t "objalloc" (fun args -> snd (Interner.get objs args.(0)));
+  add_builtin t "calleectx" (fun args ->
+      (* calleectx(O, Callee) -> C2 *)
+      let o = args.(0) and callee = args.(1) in
+      if pol.cp_selected callee then begin
+        let hctx, h = Interner.get objs o in
+        Interner.intern ctxs
+          (take k_limit (pol.cp_obj_elem p h :: Interner.get ctxs hctx))
+      end
+      else empty_ctx);
+  add_builtin t "staticctx" (fun args ->
+      let ctx = args.(0) and callee = args.(1) in
+      if pol.cp_selected callee then
+        Interner.intern ctxs (take k_limit (Interner.get ctxs ctx))
+      else empty_ctx);
+  let r h b = add_rule t (h <-- b) in
+  r (atom "ReachCS" [ c empty_ctx; v "M" ]) [ atom "EntryMethod" [ v "M" ] ];
+  r (atom "CVPT" [ v "C"; v "V"; v "O" ])
+    [ atom "ReachCS" [ v "C"; v "M" ]; atom "AllocIn" [ v "M"; v "V"; v "H" ];
+      fn "mkobj" [ v "C"; v "H"; v "O" ] ];
+  r (atom "CVPT" [ v "C"; v "To"; v "O" ])
+    [ atom "Assign" [ v "To"; v "From" ]; atom "CVPT" [ v "C"; v "From"; v "O" ] ];
+  r (atom "CVPT" [ v "C"; v "To"; v "O" ])
+    [ atom "CastAssign" [ v "To"; v "From"; v "X" ];
+      atom "CVPT" [ v "C"; v "From"; v "O" ]; fn "objalloc" [ v "O"; v "H" ];
+      atom "CastOk" [ v "X"; v "H" ] ];
+  r (atom "CFPT" [ v "O"; v "F"; v "O2" ])
+    [ atom "Store" [ v "S"; v "B"; v "F"; v "Y" ];
+      atom "CVPT" [ v "C"; v "B"; v "O" ]; atom "CVPT" [ v "C"; v "Y"; v "O2" ] ];
+  r (atom "CVPT" [ v "C"; v "To"; v "O2" ])
+    [ atom "Load" [ v "To"; v "B"; v "F" ]; atom "CVPT" [ v "C"; v "B"; v "O" ];
+      atom "CFPT" [ v "O"; v "F"; v "O2" ] ];
+  r (atom "CAPT" [ v "O"; v "O2" ])
+    [ atom "AStoreR" [ v "Arr"; v "Y" ]; atom "CVPT" [ v "C"; v "Arr"; v "O" ];
+      atom "CVPT" [ v "C"; v "Y"; v "O2" ] ];
+  r (atom "CVPT" [ v "C"; v "To"; v "O2" ])
+    [ atom "ALoadR" [ v "To"; v "Arr" ]; atom "CVPT" [ v "C"; v "Arr"; v "O" ];
+      fn "objalloc" [ v "O"; v "H" ]; atom "HeapIsArray" [ v "H" ];
+      atom "CAPT" [ v "O"; v "O2" ] ];
+  r (atom "CSPT" [ v "F"; v "O" ])
+    [ atom "SStoreR" [ v "F"; v "Y" ]; atom "CVPT" [ v "C"; v "Y"; v "O" ] ];
+  (* static loads need the loading variable's method contexts *)
+  r (atom "CVPT" [ v "C"; v "To"; v "O" ])
+    [ atom "SLoadR" [ v "To"; v "F" ]; atom "VarMeth" [ v "To"; v "M" ];
+      atom "ReachCS" [ v "C"; v "M" ]; atom "CSPT" [ v "F"; v "O" ] ];
+  r (atom "CVDisp" [ v "C"; v "Site"; v "O"; v "Callee" ])
+    [ atom "ReachCS" [ v "C"; v "M" ];
+      atom "VCallIn" [ v "M"; v "Site"; v "Recv"; v "Name" ];
+      atom "CVPT" [ v "C"; v "Recv"; v "O" ]; fn "objalloc" [ v "O"; v "H" ];
+      atom "HeapClass" [ v "H"; v "Cl" ];
+      atom "Dispatch" [ v "Cl"; v "Name"; v "Callee" ] ];
+  r (atom "CallEdgeCS" [ v "C"; v "Site"; v "C2"; v "Callee" ])
+    [ atom "CVDisp" [ v "C"; v "Site"; v "O"; v "Callee" ];
+      fn "calleectx" [ v "O"; v "Callee"; v "C2" ] ];
+  r (atom "CVPT" [ v "C2"; v "This"; v "O" ])
+    [ atom "CVDisp" [ v "C"; v "Site"; v "O"; v "Callee" ];
+      fn "calleectx" [ v "O"; v "Callee"; v "C2" ];
+      atom "FormalParam" [ v "Callee"; c 0; v "This" ] ];
+  r (atom "CSpecial" [ v "C"; v "Site"; v "O"; v "Callee" ])
+    [ atom "ReachCS" [ v "C"; v "M" ];
+      atom "SpecialIn" [ v "M"; v "Site"; v "Recv"; v "Callee" ];
+      atom "CVPT" [ v "C"; v "Recv"; v "O" ] ];
+  r (atom "CallEdgeCS" [ v "C"; v "Site"; v "C2"; v "Callee" ])
+    [ atom "CSpecial" [ v "C"; v "Site"; v "O"; v "Callee" ];
+      fn "calleectx" [ v "O"; v "Callee"; v "C2" ] ];
+  r (atom "CVPT" [ v "C2"; v "This"; v "O" ])
+    [ atom "CSpecial" [ v "C"; v "Site"; v "O"; v "Callee" ];
+      fn "calleectx" [ v "O"; v "Callee"; v "C2" ];
+      atom "FormalParam" [ v "Callee"; c 0; v "This" ] ];
+  r (atom "CallEdgeCS" [ v "C"; v "Site"; v "C2"; v "Callee" ])
+    [ atom "ReachCS" [ v "C"; v "M" ];
+      atom "StaticIn" [ v "M"; v "Site"; v "Callee" ];
+      fn "staticctx" [ v "C"; v "Callee"; v "C2" ] ];
+  r (atom "ReachCS" [ v "C2"; v "M2" ])
+    [ atom "CallEdgeCS" [ v "C"; v "Site"; v "C2"; v "M2" ] ];
+  r (atom "CVPT" [ v "C2"; v "P"; v "O" ])
+    [ atom "CallEdgeCS" [ v "C"; v "Site"; v "C2"; v "Callee" ];
+      atom "ArgVar" [ v "Site"; v "K"; v "A" ];
+      atom "FormalParam" [ v "Callee"; v "K"; v "P" ];
+      atom "CVPT" [ v "C"; v "A"; v "O" ] ];
+  r (atom "CVPT" [ v "C"; v "Lhs"; v "O" ])
+    [ atom "CallEdgeCS" [ v "C"; v "Site"; v "C2"; v "Callee" ];
+      atom "CallLhs" [ v "Site"; v "Lhs" ];
+      atom "MethodRet" [ v "Callee"; v "Ret" ];
+      atom "CVPT" [ v "C2"; v "Ret"; v "O" ] ];
+  objs
+
+(* -------------------------------------------------------------- results *)
+
+let result_of_ci (t : E.t) (p : Ir.program) ~name ~time : Solver.result =
+  let reach = Bits.create () in
+  E.iter_tuples t "Reachable" (fun tup -> ignore (Bits.add reach tup.(0)));
+  let edges = ref [] in
+  E.iter_tuples t "CallEdge" (fun tup -> edges := (tup.(0), tup.(1)) :: !edges);
+  let var_pt : (Ir.var_id, Bits.t) Hashtbl.t = Hashtbl.create 1024 in
+  E.iter_tuples t "VPT" (fun tup ->
+      let b =
+        match Hashtbl.find_opt var_pt tup.(0) with
+        | Some b -> b
+        | None ->
+          let b = Bits.create () in
+          Hashtbl.add var_pt tup.(0) b;
+          b
+      in
+      ignore (Bits.add b tup.(1)));
+  let empty = Bits.create () in
+  ignore p;
+  {
+    Solver.r_name = name;
+    r_time = time;
+    r_reach = reach;
+    r_edges = !edges;
+    r_pt =
+      (fun vr -> match Hashtbl.find_opt var_pt vr with Some b -> b | None -> empty);
+    r_stats = Printf.sprintf "derived=%d" (E.derived_count t);
+  }
+
+let result_of_cs (t : E.t) (objs : (int * int) Interner.t) ~name ~time :
+    Solver.result =
+  let reach = Bits.create () in
+  E.iter_tuples t "ReachCS" (fun tup -> ignore (Bits.add reach tup.(1)));
+  let edge_set = Hashtbl.create 1024 in
+  E.iter_tuples t "CallEdgeCS" (fun tup ->
+      Hashtbl.replace edge_set (tup.(1), tup.(3)) ());
+  let var_pt : (Ir.var_id, Bits.t) Hashtbl.t = Hashtbl.create 1024 in
+  E.iter_tuples t "CVPT" (fun tup ->
+      let b =
+        match Hashtbl.find_opt var_pt tup.(1) with
+        | Some b -> b
+        | None ->
+          let b = Bits.create () in
+          Hashtbl.add var_pt tup.(1) b;
+          b
+      in
+      ignore (Bits.add b (snd (Interner.get objs tup.(2)))));
+  let empty = Bits.create () in
+  {
+    Solver.r_name = name;
+    r_time = time;
+    r_reach = reach;
+    r_edges = Hashtbl.fold (fun k () acc -> k :: acc) edge_set [];
+    r_pt =
+      (fun vr -> match Hashtbl.find_opt var_pt vr with Some b -> b | None -> empty);
+    r_stats = Printf.sprintf "derived=%d" (E.derived_count t);
+  }
+
+exception Timeout = Timer.Out_of_budget
+
+(** Run a declarative analysis end to end. Raises {!Timeout} on budget
+    expiry. *)
+let run ?(budget = Timer.no_budget) (p : Ir.program) (kind : kind) :
+    Solver.result =
+  let t0 = Timer.now () in
+  let t = create () in
+  match kind with
+  | Ci | Csc_doop ->
+    let csc = kind = Csc_doop in
+    ignore (Facts.load ~csc t p);
+    ci_rules t;
+    if csc then csc_rules t;
+    solve ~budget t;
+    result_of_ci t p ~name:(kind_name kind) ~time:(Timer.now () -. t0)
+  | Obj2 | Type2 | Selective2obj _ ->
+    ignore (Facts.load ~csc:false t p);
+    let pol =
+      match kind with
+      | Obj2 -> policy_2obj
+      | Type2 -> policy_2type
+      | Selective2obj sel -> policy_selective sel
+      | _ -> assert false
+    in
+    let objs = cs_rules t p pol in
+    solve ~budget t;
+    result_of_cs t objs ~name:(kind_name kind) ~time:(Timer.now () -. t0)

@@ -1,0 +1,552 @@
+(** A semi-naive Datalog engine over int tuples.
+
+    This is the substrate standing in for the Doop framework (DESIGN.md S5):
+    the declarative version of the pointer analysis is expressed as rules
+    evaluated here. Features: automatic stratification, stratified negation
+    (a negated atom may only mention relations of strictly lower strata),
+    lazily-built hash indices per (relation, bound-column mask), and
+    semi-naive delta iteration inside each stratum. *)
+
+open Csc_common
+
+type term =
+  | V of string  (** variable *)
+  | C of int     (** constant *)
+
+type atom = {
+  rel : string;
+  args : term array;
+  neg : bool;
+  builtin : bool;
+      (** builtin atoms call a registered function: all arguments except the
+          last must be bound; the last is unified with the result. They act
+          like Soufflé functors (used to construct contexts / project
+          abstract objects in the context-sensitive analyses). *)
+}
+
+(** [head :- body]. The head must be positive. *)
+type rule = {
+  head : atom;
+  body : atom list;
+}
+
+let atom ?(neg = false) rel args =
+  { rel; args = Array.of_list args; neg; builtin = false }
+
+let fn rel args = { rel; args = Array.of_list args; neg = false; builtin = true }
+let ( <-- ) head body : rule = { head; body }
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------- relations *)
+
+type relation = {
+  r_name : string;
+  r_arity : int;
+  r_tuples : (int array, unit) Hashtbl.t;
+  (* indices: key = bitmask of bound columns; value maps the projected key
+     to the list of matching tuples *)
+  mutable r_indices : (int * (int list, int array list ref) Hashtbl.t) list;
+}
+
+let key_of mask (tup : int array) : int list =
+  let k = ref [] in
+  for i = Array.length tup - 1 downto 0 do
+    if mask land (1 lsl i) <> 0 then k := tup.(i) :: !k
+  done;
+  !k
+
+type t = {
+  rels : (string, relation) Hashtbl.t;
+  builtins : (string, int array -> int) Hashtbl.t;
+  mutable rules : rule list;
+  mutable n_derived : int;
+}
+
+let create () =
+  { rels = Hashtbl.create 64; builtins = Hashtbl.create 8; rules = [];
+    n_derived = 0 }
+
+(** Register a builtin function callable from rules via {!fn}. *)
+let add_builtin t name (f : int array -> int) = Hashtbl.replace t.builtins name f
+
+let relation t name arity : relation =
+  match Hashtbl.find_opt t.rels name with
+  | Some r ->
+    if r.r_arity <> arity then
+      error "relation %s declared with arity %d and %d" name r.r_arity arity;
+    r
+  | None ->
+    let r =
+      { r_name = name; r_arity = arity; r_tuples = Hashtbl.create 64;
+        r_indices = [] }
+    in
+    Hashtbl.add t.rels name r;
+    r
+
+let mem_tuple (r : relation) tup = Hashtbl.mem r.r_tuples tup
+
+(* insert into the tuple set and every built index; returns true if new *)
+let insert (r : relation) (tup : int array) : bool =
+  if Hashtbl.mem r.r_tuples tup then false
+  else begin
+    Hashtbl.add r.r_tuples tup ();
+    List.iter
+      (fun (mask, idx) ->
+        let k = key_of mask tup in
+        match Hashtbl.find_opt idx k with
+        | Some l -> l := tup :: !l
+        | None -> Hashtbl.add idx k (ref [ tup ]))
+      r.r_indices;
+    true
+  end
+
+let index_for (r : relation) (mask : int) =
+  match List.assoc_opt mask r.r_indices with
+  | Some idx -> idx
+  | None ->
+    let idx = Hashtbl.create (max 64 (Hashtbl.length r.r_tuples)) in
+    Hashtbl.iter
+      (fun tup () ->
+        let k = key_of mask tup in
+        match Hashtbl.find_opt idx k with
+        | Some l -> l := tup :: !l
+        | None -> Hashtbl.add idx k (ref [ tup ]))
+      r.r_tuples;
+    r.r_indices <- (mask, idx) :: r.r_indices;
+    idx
+
+(** Add an EDB fact. *)
+let fact t name args =
+  let args = Array.of_list args in
+  let r = relation t name (Array.length args) in
+  ignore (insert r args)
+
+let add_rule t (rule : rule) =
+  if rule.head.neg then error "negative head in rule for %s" rule.head.rel;
+  ignore (relation t rule.head.rel (Array.length rule.head.args));
+  List.iter
+    (fun a ->
+      if a.builtin then begin
+        if not (Hashtbl.mem t.builtins a.rel) then
+          error "unknown builtin %s" a.rel
+      end
+      else ignore (relation t a.rel (Array.length a.args)))
+    rule.body;
+  (* safety: every head / negated variable must occur in a positive atom
+     (builtin outputs count as bound) *)
+  let positive_vars =
+    List.concat_map
+      (fun a ->
+        if a.neg then []
+        else
+          Array.to_list a.args
+          |> List.filter_map (function V v -> Some v | C _ -> None))
+      rule.body
+  in
+  let check_bound what args =
+    Array.iter
+      (function
+        | V v when not (List.mem v positive_vars) ->
+          error "unbound variable %s in %s" v what
+        | _ -> ())
+      args
+  in
+  check_bound ("head of " ^ rule.head.rel) rule.head.args;
+  List.iter (fun a -> if a.neg then check_bound ("negated " ^ a.rel) a.args) rule.body;
+  t.rules <- rule :: t.rules
+
+(* --------------------------------------------------------- stratification *)
+
+(* stratum(r) >= stratum(b) for positive deps, > for negated deps *)
+let stratify t : (string, int) Hashtbl.t =
+  let strata = Hashtbl.create 32 in
+  Hashtbl.iter (fun name _ -> Hashtbl.replace strata name 0) t.rels;
+  let n_rels = Hashtbl.length t.rels in
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed do
+    changed := false;
+    incr rounds;
+    if !rounds > n_rels + 1 then
+      error "negation inside a recursive cycle: program is not stratifiable";
+    List.iter
+      (fun rule ->
+        let hs = Hashtbl.find strata rule.head.rel in
+        List.iter
+          (fun a ->
+            if a.builtin then ()
+            else
+            let bs = Hashtbl.find strata a.rel in
+            let need = if a.neg then bs + 1 else bs in
+            if hs < need then begin
+              Hashtbl.replace strata rule.head.rel need;
+              changed := true
+            end)
+          rule.body)
+      t.rules
+  done;
+  strata
+
+(* ------------------------------------------------------------- evaluation *)
+
+(* Rules are compiled once per [solve]: variables become integer slots in a
+   flat environment array (the sentinel [unbound] marks free slots), and each
+   body atom is resolved to its relation / builtin up front. *)
+
+let unbound = min_int
+
+(* candidate-scan budget accounting: huge joins can spend a long time without
+   deriving anything, so the deadline is also checked per scanned tuple
+   (set by [solve]; engines are evaluated one at a time). *)
+let scan_budget : Timer.budget ref = ref Timer.no_budget
+let scan_count = ref 0
+
+let tick () =
+  incr scan_count;
+  if !scan_count land 0x7ffff = 0 then Timer.check !scan_budget
+
+type slot = S_const of int | S_var of int
+
+type catom = {
+  ca_neg : bool;
+  ca_rel : relation option;            (* None for builtins *)
+  ca_fn : (int array -> int) option;
+  ca_args : slot array;
+}
+
+type crule = {
+  cr_head_rel : relation;
+  cr_head : slot array;
+  cr_body : catom array;
+  cr_nvars : int;
+  cr_rule : rule;  (* original, for delta-atom positions *)
+  mutable cr_time : float;  (* cumulative evaluation time, for profiling *)
+}
+
+let compile_rule t (rule : rule) : crule =
+  let vars = Hashtbl.create 8 in
+  let slot_of = function
+    | C c -> S_const c
+    | V v -> (
+      match Hashtbl.find_opt vars v with
+      | Some i -> S_var i
+      | None ->
+        let i = Hashtbl.length vars in
+        Hashtbl.add vars v i;
+        S_var i)
+  in
+  let body =
+    List.map
+      (fun a ->
+        {
+          ca_neg = a.neg;
+          ca_rel = (if a.builtin then None else Some (Hashtbl.find t.rels a.rel));
+          ca_fn = (if a.builtin then Some (Hashtbl.find t.builtins a.rel) else None);
+          ca_args = Array.map slot_of a.args;
+        })
+      rule.body
+  in
+  let head = Array.map slot_of rule.head.args in
+  {
+    cr_head_rel = Hashtbl.find t.rels rule.head.rel;
+    cr_head = head;
+    cr_body = Array.of_list body;
+    cr_nvars = Hashtbl.length vars;
+    cr_rule = rule;
+    cr_time = 0.;
+  }
+
+(* greedy join ordering: among the remaining atoms, prefer builtins and
+   negations whose inputs are bound, then the positive atom with the most
+   bound columns (ties: smallest relation). Without this, rules whose
+   textual order leaves an unbound atom early degenerate to full scans per
+   delta tuple. *)
+let pick_next (env : int array) (atoms : catom array) (remaining : int list) :
+    int option =
+  let bound_slot = function
+    | S_const _ -> true
+    | S_var v -> env.(v) <> unbound
+  in
+  let best = ref None in
+  let best_score = ref min_int in
+  List.iter
+    (fun i ->
+      let a = atoms.(i) in
+      let n = Array.length a.ca_args in
+      let nbound = ref 0 in
+      Array.iter (fun s -> if bound_slot s then incr nbound) a.ca_args;
+      let score =
+        match a.ca_rel with
+        | None ->
+          (* builtin: runnable once all inputs are bound *)
+          let inputs_bound =
+            let ok = ref true in
+            for j = 0 to n - 2 do
+              if not (bound_slot a.ca_args.(j)) then ok := false
+            done;
+            !ok
+          in
+          if inputs_bound then max_int else min_int
+        | Some r ->
+          if a.ca_neg then if !nbound = n then max_int else min_int
+          else if !nbound = n then max_int - 1
+          else
+            (* bound columns dominate: an indexed probe beats any full scan,
+               regardless of relation size *)
+            (1_000_000 * !nbound)
+            - min 999_999 (Hashtbl.length r.r_tuples)
+      in
+      if score > !best_score then begin
+        best_score := score;
+        best := Some i
+      end)
+    remaining;
+  !best
+
+(* evaluate the remaining body atoms under [env], calling [k] on success *)
+let rec eval_body (env : int array) (atoms : catom array) (remaining : int list)
+    (k : unit -> unit) =
+  match remaining with
+  | [] -> k ()
+  | _ ->
+    let i =
+      match pick_next env atoms remaining with
+      | Some i -> i
+      | None -> error "no evaluable atom (unbound builtin inputs?)"
+    in
+    let rest = List.filter (fun j -> j <> i) remaining in
+    let a = atoms.(i) in
+    let n = Array.length a.ca_args in
+    match a.ca_rel with
+    | None ->
+      (* builtin: inputs bound, last arg unified with the result *)
+      let f = Option.get a.ca_fn in
+      let inputs =
+        Array.init (n - 1) (fun j ->
+            match a.ca_args.(j) with
+            | S_const c -> c
+            | S_var v ->
+              let x = env.(v) in
+              if x = unbound then error "builtin: unbound input" else x)
+      in
+      let out = f inputs in
+      (match a.ca_args.(n - 1) with
+      | S_const c -> if out = c then eval_body env atoms rest k
+      | S_var v ->
+        let cur = env.(v) in
+        if cur = unbound then begin
+          env.(v) <- out;
+          eval_body env atoms rest k;
+          env.(v) <- unbound
+        end
+        else if cur = out then eval_body env atoms rest k)
+    | Some r ->
+      (* bound-column mask *)
+      let mask = ref 0 in
+      let fully_bound = ref true in
+      for j = 0 to n - 1 do
+        match a.ca_args.(j) with
+        | S_const _ -> mask := !mask lor (1 lsl j)
+        | S_var v ->
+          if env.(v) <> unbound then mask := !mask lor (1 lsl j)
+          else fully_bound := false
+      done;
+      let concrete j =
+        match a.ca_args.(j) with S_const c -> c | S_var v -> env.(v)
+      in
+      if a.ca_neg || !fully_bound then begin
+        let tup = Array.init n concrete in
+        let present = mem_tuple r tup in
+        if present <> a.ca_neg then eval_body env atoms rest k
+      end
+      else begin
+        let candidates =
+          if !mask = 0 then
+            Hashtbl.fold (fun tup () acc -> tup :: acc) r.r_tuples []
+          else begin
+            let key = ref [] in
+            for j = n - 1 downto 0 do
+              if !mask land (1 lsl j) <> 0 then key := concrete j :: !key
+            done;
+            let idx = index_for r !mask in
+            match Hashtbl.find_opt idx !key with Some l -> !l | None -> []
+          end
+        in
+        List.iter
+          (fun tup ->
+            tick ();
+            (* bind free slots, backtracking on mismatch *)
+            let rec go j undo =
+              if j >= n then begin
+                eval_body env atoms rest k;
+                List.iter (fun v -> env.(v) <- unbound) undo
+              end
+              else
+                match a.ca_args.(j) with
+                | S_const c ->
+                  if tup.(j) = c then go (j + 1) undo
+                  else List.iter (fun v -> env.(v) <- unbound) undo
+                | S_var v ->
+                  let cur = env.(v) in
+                  if cur = unbound then begin
+                    env.(v) <- tup.(j);
+                    go (j + 1) (v :: undo)
+                  end
+                  else if cur = tup.(j) then go (j + 1) undo
+                  else List.iter (fun v -> env.(v) <- unbound) undo
+            in
+            go 0 [])
+          candidates
+      end
+
+(* evaluate one compiled rule with a designated delta atom (index into the
+   original body, or -1 to use full relations), emitting head tuples *)
+let eval_rule (cr : crule) ~(delta_idx : int)
+    ~(delta : (string, (int array, unit) Hashtbl.t) Hashtbl.t)
+    ~(emit : relation -> int array -> unit) =
+  let env = Array.make (max cr.cr_nvars 1) unbound in
+  let emit_head () =
+    let out =
+      Array.map
+        (function S_const c -> c | S_var v -> env.(v))
+        cr.cr_head
+    in
+    emit cr.cr_head_rel out
+  in
+  let all_idx = List.init (Array.length cr.cr_body) (fun i -> i) in
+  if Array.length cr.cr_body = 0 then emit_head ()
+  else if delta_idx < 0 then eval_body env cr.cr_body all_idx emit_head
+  else begin
+    (* iterate the delta of the designated atom, then the rest *)
+    let datom = cr.cr_body.(delta_idx) in
+    let rest = List.filter (fun i -> i <> delta_idx) all_idx in
+    let rel = Option.get datom.ca_rel in
+    match Hashtbl.find_opt delta rel.r_name with
+    | None -> ()
+    | Some d ->
+      let n = Array.length datom.ca_args in
+      Hashtbl.iter
+        (fun tup () ->
+          Array.fill env 0 (Array.length env) unbound;
+          let rec go j =
+            if j >= n then eval_body env cr.cr_body rest emit_head
+            else
+              match datom.ca_args.(j) with
+              | S_const c -> if tup.(j) = c then go (j + 1)
+              | S_var v ->
+                let cur = env.(v) in
+                if cur = unbound then begin
+                  env.(v) <- tup.(j);
+                  go (j + 1)
+                end
+                else if cur = tup.(j) then go (j + 1)
+          in
+          go 0)
+        d
+  end
+
+(** Run all rules to fixpoint, stratum by stratum. *)
+let solve ?(budget = Timer.no_budget) (t : t) : unit =
+  scan_budget := budget;
+  let strata = stratify t in
+  let max_stratum = Hashtbl.fold (fun _ s acc -> max s acc) strata 0 in
+  let rules = List.rev t.rules in
+  for stratum = 0 to max_stratum do
+    let srules =
+      List.filter (fun r -> Hashtbl.find strata r.head.rel = stratum) rules
+      |> List.map (compile_rule t)
+    in
+    let recursive r = Hashtbl.find strata r = stratum in
+    (* delta = tuples derived in the previous round, per relation *)
+    let delta : (string, (int array, unit) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let next : (string, (int array, unit) Hashtbl.t) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let attempts = ref 0 in
+    let emit (r : relation) tup =
+      incr attempts;
+      if !attempts land 0xffff = 0 then Timer.check budget;
+      if insert r tup then begin
+        t.n_derived <- t.n_derived + 1;
+        let d =
+          match Hashtbl.find_opt next r.r_name with
+          | Some d -> d
+          | None ->
+            let d = Hashtbl.create 64 in
+            Hashtbl.add next r.r_name d;
+            d
+        in
+        Hashtbl.replace d tup ()
+      end
+    in
+    let timed cr f =
+      let t0 = Timer.now () in
+      Fun.protect ~finally:(fun () ->
+          cr.cr_time <- cr.cr_time +. (Timer.now () -. t0))
+        f
+    in
+    let profile () =
+      if Sys.getenv_opt "CSC_DATALOG_PROFILE" <> None then
+        List.iter
+          (fun cr ->
+            if cr.cr_time > 0.2 then
+              Fmt.epr "[datalog] %6.2fs %8d %s :- %s@." cr.cr_time
+                (Hashtbl.length cr.cr_head_rel.r_tuples)
+                cr.cr_rule.head.rel
+                (String.concat ", "
+                   (List.map
+                      (fun a -> (if a.neg then "!" else "") ^ a.rel)
+                      cr.cr_rule.body)))
+          srules
+    in
+    Fun.protect ~finally:profile (fun () ->
+        (* round 0: run every rule of the stratum naively *)
+        List.iter
+          (fun cr ->
+            timed cr (fun () -> eval_rule cr ~delta_idx:(-1) ~delta ~emit))
+          srules;
+        (* semi-naive rounds *)
+        let continue_ = ref (Hashtbl.length next > 0) in
+        while !continue_ do
+          Timer.check budget;
+          Hashtbl.reset delta;
+          Hashtbl.iter (fun k v -> Hashtbl.add delta k v) next;
+          Hashtbl.reset next;
+          List.iter
+            (fun cr ->
+              List.iteri
+                (fun i (a : atom) ->
+                  if
+                    (not a.builtin) && (not a.neg) && recursive a.rel
+                    && Hashtbl.mem delta a.rel
+                  then
+                    timed cr (fun () -> eval_rule cr ~delta_idx:i ~delta ~emit))
+                cr.cr_rule.body)
+            srules;
+          continue_ := Hashtbl.length next > 0
+        done)
+  done
+
+(* ---------------------------------------------------------------- queries *)
+
+let tuples t name : int array list =
+  match Hashtbl.find_opt t.rels name with
+  | None -> []
+  | Some r -> Hashtbl.fold (fun tup () acc -> tup :: acc) r.r_tuples []
+
+let count t name =
+  match Hashtbl.find_opt t.rels name with
+  | None -> 0
+  | Some r -> Hashtbl.length r.r_tuples
+
+let derived_count t = t.n_derived
+
+let iter_tuples t name f =
+  match Hashtbl.find_opt t.rels name with
+  | None -> ()
+  | Some r -> Hashtbl.iter (fun tup () -> f tup) r.r_tuples

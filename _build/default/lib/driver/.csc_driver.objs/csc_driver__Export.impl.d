@@ -1,0 +1,1 @@
+lib/driver/export.ml: Array Bits Buffer Csc_common Csc_ir Csc_pta Fmt Hashtbl List Printf String

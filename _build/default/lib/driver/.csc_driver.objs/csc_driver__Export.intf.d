@@ -1,0 +1,1 @@
+lib/driver/export.mli: Csc_ir Csc_pta Format

@@ -1,0 +1,1 @@
+lib/driver/run.ml: Bits Csc_clients Csc_common Csc_core Csc_datalog Csc_interp Csc_ir Csc_pta List Printf Timer Zipper

@@ -1,0 +1,1 @@
+lib/driver/run.mli: Bits Csc_clients Csc_common Csc_core Csc_ir Csc_pta

@@ -1,0 +1,1 @@
+lib/driver/zipper.ml: Array Bits Csc_common Csc_core Csc_ir Csc_pta Hashtbl List

@@ -1,0 +1,1 @@
+lib/driver/zipper.mli: Bits Csc_common Csc_ir Csc_pta Hashtbl

@@ -1,0 +1,69 @@
+(** Result exporters: Graphviz call graphs and human-readable points-to
+    dumps, for the CLI and for debugging analyses. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+
+(** Graphviz DOT rendering of the (projected) call graph. [include_jdk]
+    keeps mini-JDK internal methods (they dominate visually, default off:
+    a method is considered JDK if its class appears in the jdk unit, i.e.
+    before the first user class - we approximate by name). *)
+let callgraph_dot ?(include_jdk = false) (p : Ir.program) (r : Solver.result) :
+    string =
+  let jdk_classes =
+    [ "Object"; "String"; "Collection"; "Iterator"; "ArrayList";
+      "ArrayListIterator"; "ListNode"; "LinkedList"; "LinkedListIterator";
+      "HashSet"; "Map"; "MapEntry"; "HashMap"; "KeySetView"; "ValuesView";
+      "KeyIterator"; "ValueIterator"; "Stack"; "DequeNode"; "ArrayDeque";
+      "DequeIterator"; "Queue"; "Optional"; "StringBuilder"; "Collections";
+      "Box"; "Pair"; "Util" ]
+  in
+  let is_jdk m = List.mem (Ir.class_name p (Ir.metho p m).m_class) jdk_classes in
+  let keep m = include_jdk || not (is_jdk m) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  Bits.iter
+    (fun m ->
+      if keep m then
+        Buffer.add_string buf
+          (Printf.sprintf "  m%d [label=%S];\n" m (Ir.method_name p m)))
+    r.r_reach;
+  let edge_seen = Hashtbl.create 256 in
+  List.iter
+    (fun (site, callee) ->
+      let caller = (Ir.call p site).cs_method in
+      if keep caller && keep callee && not (Hashtbl.mem edge_seen (caller, callee))
+      then begin
+        Hashtbl.add edge_seen (caller, callee) ();
+        Buffer.add_string buf (Printf.sprintf "  m%d -> m%d;\n" caller callee)
+      end)
+    r.r_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Textual dump of points-to sets, optionally restricted to one method. *)
+let pts_dump ?method_filter (p : Ir.program) (r : Solver.result) ppf =
+  Array.iter
+    (fun (v : Ir.var) ->
+      let mname = Ir.method_name p v.v_method in
+      let keep =
+        match method_filter with Some f -> f = mname | None -> true
+      in
+      if keep && Ir.is_ref_type v.v_ty && Bits.mem r.r_reach v.v_method then begin
+        let allocs = r.r_pt v.v_id in
+        if not (Bits.is_empty allocs) then
+          Fmt.pf ppf "%s.%s -> {%s}@." mname v.v_name
+            (String.concat ", "
+               (List.map
+                  (fun a ->
+                    let s = Ir.alloc p a in
+                    Printf.sprintf "%s:%d"
+                      (match s.a_kind with
+                      | `Class c -> Ir.class_name p c
+                      | `Array _ -> "array"
+                      | `String -> "String")
+                      s.a_line)
+                  (Bits.to_list allocs)))
+      end)
+    p.vars

@@ -1,0 +1,19 @@
+(** Result exporters for the CLI and debugging. *)
+
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+
+(** Graphviz DOT rendering of the projected call graph (reachable methods
+    as nodes, deduplicated caller->callee edges). Mini-JDK methods are
+    hidden unless [include_jdk]. *)
+val callgraph_dot : ?include_jdk:bool -> Ir.program -> Solver.result -> string
+
+(** Human-readable points-to dump ("Method.var -> {Class:line, ...}") of
+    every non-empty ref-typed variable, optionally restricted to one method
+    (full name, e.g. "Main.main"). *)
+val pts_dump :
+  ?method_filter:string ->
+  Ir.program ->
+  Solver.result ->
+  Format.formatter ->
+  unit

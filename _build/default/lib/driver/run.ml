@@ -1,0 +1,226 @@
+(** Analysis driver: run any of the evaluated analyses on a program and
+    collect time + precision metrics in one uniform record. This is the layer
+    the CLI, the examples and the benchmark harness sit on. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+module Context = Csc_pta.Context
+module Csc = Csc_core.Csc
+module Metrics = Csc_clients.Metrics
+module Dl = Csc_datalog.Analysis
+
+(** The analyses of the paper's evaluation, on both engines. [Imp_*] run on
+    the imperative engine (Tai-e analog, Table 2), [Doop_*] on the Datalog
+    engine (Doop analog, Table 1). *)
+type analysis =
+  | Imp_ci
+  | Imp_csc
+  | Imp_csc_cfg of Csc.config  (** ablations (§5.1 pattern-impact study) *)
+  | Imp_kobj of int            (** k-object-sensitive, heap depth k-1 min 1 *)
+  | Imp_ktype of int
+  | Imp_kcall of int
+  | Imp_2obj
+  | Imp_2type
+  | Imp_2call
+  | Imp_zipper
+  | Doop_ci
+  | Doop_csc
+  | Doop_2obj
+  | Doop_2type
+  | Doop_zipper
+
+let name = function
+  | Imp_ci -> "ci"
+  | Imp_csc -> "csc"
+  | Imp_csc_cfg cfg -> Csc.config_name cfg
+  | Imp_kobj k -> Printf.sprintf "%dobj" k
+  | Imp_ktype k -> Printf.sprintf "%dtype" k
+  | Imp_kcall k -> Printf.sprintf "%dcall" k
+  | Imp_2obj -> "2obj"
+  | Imp_2type -> "2type"
+  | Imp_2call -> "2call"
+  | Imp_zipper -> "zipper-e"
+  | Doop_ci -> "doop-ci"
+  | Doop_csc -> "doop-csc"
+  | Doop_2obj -> "doop-2obj"
+  | Doop_2type -> "doop-2type"
+  | Doop_zipper -> "doop-zipper-e"
+
+let all_imperative = [ Imp_ci; Imp_csc; Imp_2obj; Imp_2type; Imp_zipper ]
+let all_datalog = [ Doop_ci; Doop_csc; Doop_2obj; Doop_2type; Doop_zipper ]
+
+type outcome = {
+  o_analysis : string;
+  o_timeout : bool;
+  o_time : float;            (** total wall-clock (pre + main) *)
+  o_pre_time : float;        (** pre-analysis + selection (Zipper only) *)
+  o_main_time : float;
+  o_result : Solver.result option;
+  o_metrics : Metrics.t option;
+  o_selected : Bits.t option;   (** Zipper: selected methods *)
+  o_involved : Bits.t option;   (** CSC: methods in cut/shortcut edges *)
+  o_shortcuts : int;
+}
+
+let timeout_outcome analysis elapsed =
+  {
+    o_analysis = name analysis;
+    o_timeout = true;
+    o_time = elapsed;
+    o_pre_time = 0.;
+    o_main_time = elapsed;
+    o_result = None;
+    o_metrics = None;
+    o_selected = None;
+    o_involved = None;
+    o_shortcuts = 0;
+  }
+
+let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
+    (r : Solver.result) total_time =
+  {
+    o_analysis = name analysis;
+    o_timeout = false;
+    o_time = total_time;
+    o_pre_time = pre_time;
+    o_main_time = total_time -. pre_time;
+    o_result = Some r;
+    o_metrics = Some (Metrics.compute p r);
+    o_selected = selected;
+    o_involved = involved;
+    o_shortcuts = shortcuts;
+  }
+
+(** Run one analysis under an optional time budget (seconds). Timeouts are
+    reported in the outcome, not raised — like the paper's ">2h" cells. *)
+let run ?budget_s (p : Ir.program) (analysis : analysis) : outcome =
+  let budget =
+    match budget_s with
+    | Some s -> Timer.budget_of_seconds s
+    | None -> Timer.no_budget
+  in
+  let t0 = Timer.now () in
+  let elapsed () = Timer.now () -. t0 in
+  let imperative ?plugin_of sel finish =
+    match Solver.analyze ~budget ~sel ?plugin_of p with
+    | t -> finish (Solver.result t)
+    | exception Solver.Timeout -> timeout_outcome analysis (elapsed ())
+  in
+  match analysis with
+  | Imp_ci ->
+    imperative Context.ci (fun r -> of_result analysis p r (elapsed ()))
+  | Imp_csc | Imp_csc_cfg _ ->
+    let config =
+      match analysis with Imp_csc_cfg c -> c | _ -> Csc.default_config
+    in
+    let handle = ref None in
+    let plugin_of s =
+      let pl, h = Csc.plugin_with_handle ~config s in
+      handle := Some h;
+      pl
+    in
+    imperative ~plugin_of Context.ci (fun r ->
+        let involved, shortcuts =
+          match !handle with
+          | Some h -> (Some (Csc.involved_methods h), Csc.shortcut_count h)
+          | None -> (None, 0)
+        in
+        of_result ?involved ~shortcuts analysis p r (elapsed ()))
+  | Imp_kobj k ->
+    imperative (Context.kobj ~k ~hk:(max 1 (k - 1))) (fun r ->
+        of_result analysis p r (elapsed ()))
+  | Imp_ktype k ->
+    imperative (Context.ktype ~k ~hk:(max 1 (k - 1))) (fun r ->
+        of_result analysis p r (elapsed ()))
+  | Imp_kcall k ->
+    imperative (Context.kcall ~k ~hk:(max 1 (k - 1))) (fun r ->
+        of_result analysis p r (elapsed ()))
+  | Imp_2obj ->
+    imperative (Context.kobj ~k:2 ~hk:1) (fun r -> of_result analysis p r (elapsed ()))
+  | Imp_2type ->
+    imperative (Context.ktype ~k:2 ~hk:1) (fun r ->
+        of_result analysis p r (elapsed ()))
+  | Imp_2call ->
+    imperative (Context.kcall ~k:2 ~hk:1) (fun r ->
+        of_result analysis p r (elapsed ()))
+  | Imp_zipper -> (
+    (* pre-analysis (CI) + selection, then selective 2obj *)
+    match Solver.analyze ~budget p with
+    | exception Solver.Timeout -> timeout_outcome analysis (elapsed ())
+    | pre ->
+      let pre_r = Solver.result pre in
+      let sel = Zipper.select p pre_r in
+      let pre_time = elapsed () in
+      let selector =
+        Context.selective ~selected:sel.Zipper.selected
+          ~base:(Context.kobj ~k:2 ~hk:1)
+      in
+      imperative selector (fun r ->
+          of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
+            (elapsed ())))
+  | Doop_ci | Doop_csc | Doop_2obj | Doop_2type -> (
+    let kind =
+      match analysis with
+      | Doop_ci -> Dl.Ci
+      | Doop_csc -> Dl.Csc_doop
+      | Doop_2obj -> Dl.Obj2
+      | _ -> Dl.Type2
+    in
+    match Dl.run ~budget p kind with
+    | r -> of_result analysis p r (elapsed ())
+    | exception Dl.Timeout -> timeout_outcome analysis (elapsed ()))
+  | Doop_zipper -> (
+    match Dl.run ~budget p Dl.Ci with
+    | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())
+    | pre_r -> (
+      let sel = Zipper.select p pre_r in
+      let pre_time = elapsed () in
+      match Dl.run ~budget p (Dl.Selective2obj sel.Zipper.selected) with
+      | r ->
+        of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
+          (elapsed ())
+      | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())))
+
+(* ------------------------------------------------------------- recall *)
+
+type recall_report = {
+  rc_analysis : string;
+  rc_methods : float;
+  rc_edges : float;
+}
+
+(** The §5.1 recall experiment: execute the program, then check how much of
+    the dynamic behaviour each analysis over-approximates. *)
+let recall ?budget_s ?(max_steps = 50_000_000) (p : Ir.program)
+    (analyses : analysis list) : recall_report list =
+  let dyn = Csc_interp.Interp.run ~max_steps p in
+  List.filter_map
+    (fun a ->
+      match (run ?budget_s p a).o_result with
+      | None -> None
+      | Some r ->
+        let rc =
+          Metrics.recall r ~dyn_reach:dyn.dyn_reachable ~dyn_edges:dyn.dyn_edges
+        in
+        Some
+          {
+            rc_analysis = name a;
+            rc_methods = rc.recall_methods;
+            rc_edges = rc.recall_edges;
+          })
+    analyses
+
+(** Overlap of Zipper-selected methods with CSC-involved methods (Table 3's
+    last column): the fraction of CSC-involved methods also selected by
+    Zipper^e. *)
+let overlap ~(involved : Bits.t) ~(selected : Bits.t) : float =
+  let total = Bits.cardinal involved in
+  if total = 0 then 0.
+  else
+    let inter =
+      Bits.fold
+        (fun m acc -> if Bits.mem selected m then acc + 1 else acc)
+        involved 0
+    in
+    float inter /. float total

@@ -1,0 +1,70 @@
+(** Analysis driver: run any of the evaluated analyses on a program and
+    collect time + precision metrics in one uniform record. The CLI, the
+    examples and the benchmark harness all sit on this layer. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+module Csc = Csc_core.Csc
+module Metrics = Csc_clients.Metrics
+
+(** The analyses of the paper's evaluation plus extensions. [Imp_*] run on
+    the imperative engine (Tai-e analog, Table 2), [Doop_*] on the Datalog
+    engine (Doop analog, Table 1). *)
+type analysis =
+  | Imp_ci
+  | Imp_csc
+  | Imp_csc_cfg of Csc.config  (** ablations (§5.1 pattern-impact study) *)
+  | Imp_kobj of int
+  | Imp_ktype of int
+  | Imp_kcall of int
+  | Imp_2obj
+  | Imp_2type
+  | Imp_2call
+  | Imp_zipper
+  | Doop_ci
+  | Doop_csc
+  | Doop_2obj
+  | Doop_2type
+  | Doop_zipper
+
+val name : analysis -> string
+val all_imperative : analysis list
+val all_datalog : analysis list
+
+type outcome = {
+  o_analysis : string;
+  o_timeout : bool;
+  o_time : float;       (** total wall-clock (pre + main) *)
+  o_pre_time : float;   (** pre-analysis + selection (Zipper only) *)
+  o_main_time : float;
+  o_result : Solver.result option;  (** None on timeout *)
+  o_metrics : Metrics.t option;
+  o_selected : Bits.t option;  (** Zipper: selected methods *)
+  o_involved : Bits.t option;  (** CSC: methods in cut/shortcut edges *)
+  o_shortcuts : int;
+}
+
+(** Run one analysis under an optional wall-clock budget (seconds; a 4 GB
+    heap cap applies too). Timeouts are reported in the outcome, not
+    raised — like the paper's ">2h" cells. *)
+val run : ?budget_s:float -> Ir.program -> analysis -> outcome
+
+type recall_report = {
+  rc_analysis : string;
+  rc_methods : float;
+  rc_edges : float;
+}
+
+(** The §5.1 recall experiment: execute the program, then score how much of
+    the dynamic behaviour each analysis over-approximates (1.0 = all). *)
+val recall :
+  ?budget_s:float ->
+  ?max_steps:int ->
+  Ir.program ->
+  analysis list ->
+  recall_report list
+
+(** Fraction of CSC-involved methods also selected by Zipper^e (Table 3's
+    "overlap" column). *)
+val overlap : involved:Bits.t -> selected:Bits.t -> float

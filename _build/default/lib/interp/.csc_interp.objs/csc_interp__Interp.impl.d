@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Bits Csc_common Csc_ir Fmt Hashtbl List Option Printf String Vec

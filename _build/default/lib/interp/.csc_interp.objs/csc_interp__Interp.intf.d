@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Csc_common Csc_ir

@@ -1,0 +1,307 @@
+(** Concrete interpreter for the IR.
+
+    This is the substrate for the paper's §5.1 recall experiment: it executes
+    a program and records the *dynamically* reachable methods and call-graph
+    edges, which every sound static analysis must over-approximate. It also
+    powers the runnable examples (MiniJava programs actually run). *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+
+type value =
+  | VNull
+  | VInt of int
+  | VBool of bool
+  | VRef of int  (** heap address *)
+
+type heap_cell =
+  | HObj of { cls : Ir.class_id; fields : (Ir.field_id, value) Hashtbl.t }
+  | HArr of { elems : value array }
+  | HStr of string
+
+type outcome = {
+  output : string list;              (** [System.print] lines, in order *)
+  dyn_reachable : Bits.t;            (** method ids entered at least once *)
+  dyn_edges : (Ir.call_id * Ir.method_id) list;  (** dynamic call edges *)
+  steps : int;
+}
+
+exception Runtime_error of string
+exception Return_value of value
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+type state = {
+  prog : Ir.program;
+  heap : heap_cell Vec.t;
+  statics : (Ir.field_id, value) Hashtbl.t;
+  mutable out : string list;
+  reach : Bits.t;
+  edges : (Ir.call_id * Ir.method_id, unit) Hashtbl.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+let alloc st cell = Vec.push_idx st.heap cell
+
+let default_value (ty : Ir.typ) : value =
+  match ty with
+  | Tint -> VInt 0
+  | Tbool -> VBool false
+  | _ -> VNull
+
+let cell st addr = Vec.get st.heap addr
+
+let obj_fields st addr =
+  match cell st addr with
+  | HObj o -> o.fields
+  | _ -> error "not an object"
+
+let value_class st (v : value) : Ir.class_id option =
+  match v with
+  | VRef a -> (
+    match cell st a with
+    | HObj o -> Some o.cls
+    | HStr _ -> Some st.prog.string_cls
+    | HArr _ -> None)
+  | _ -> None
+
+(** Runtime type check for casts: conservative nominal check mirroring
+    {!Ir.subtype}. *)
+let cast_ok st (v : value) (ty : Ir.typ) : bool =
+  match v with
+  | VNull -> true
+  | VRef a -> (
+    match (cell st a, ty) with
+    | HObj o, Tclass c -> Ir.subclass_of st.prog o.cls c
+    | HStr _, Tclass c -> Ir.subclass_of st.prog st.prog.string_cls c
+    | HArr _, Tclass c -> c = st.prog.object_cls
+    | HArr _, Tarray _ -> true (* element types are erased at runtime *)
+    | _ -> false)
+  | VInt _ | VBool _ -> false
+
+let string_of_value st = function
+  | VNull -> "null"
+  | VInt n -> string_of_int n
+  | VBool b -> string_of_bool b
+  | VRef a -> (
+    match cell st a with
+    | HObj o -> Printf.sprintf "%s@%d" (Ir.class_name st.prog o.cls) a
+    | HArr r -> Printf.sprintf "array[%d]@%d" (Array.length r.elems) a
+    | HStr s -> s)
+
+(* frames map global var ids to values *)
+type frame = (Ir.var_id, value) Hashtbl.t
+
+let get_var (fr : frame) v =
+  match Hashtbl.find_opt fr v with Some x -> x | None -> VNull
+
+let set_var (fr : frame) v x = Hashtbl.replace fr v x
+
+let rec exec_stmts st fr (body : Ir.stmt array) : unit =
+  Array.iter (exec_stmt st fr) body
+
+and exec_stmt st fr (s : Ir.stmt) : unit =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then error "step budget exhausted (non-termination?)";
+  match s with
+  | Nop -> ()
+  | New { lhs; cls; _ } ->
+    let addr = alloc st (HObj { cls; fields = Hashtbl.create 4 }) in
+    set_var fr lhs (VRef addr)
+  | NewArray { lhs; len; _ } -> (
+    match get_var fr len with
+    | VInt n when n >= 0 ->
+      let addr = alloc st (HArr { elems = Array.make n VNull }) in
+      set_var fr lhs (VRef addr)
+    | VInt n -> error "negative array size %d" n
+    | _ -> error "array size is not an int")
+  | StrConst { lhs; value; _ } ->
+    let addr = alloc st (HStr value) in
+    set_var fr lhs (VRef addr)
+  | ConstInt { lhs; value } -> set_var fr lhs (VInt value)
+  | ConstBool { lhs; value } -> set_var fr lhs (VBool value)
+  | ConstNull { lhs } -> set_var fr lhs VNull
+  | Copy { lhs; rhs } -> set_var fr lhs (get_var fr rhs)
+  | Cast { lhs; ty; rhs; _ } ->
+    let v = get_var fr rhs in
+    if cast_ok st v ty then set_var fr lhs v
+    else error "ClassCastException: cannot cast %s" (string_of_value st v)
+  | InstanceOf { lhs; ty; rhs; _ } ->
+    (* null instanceof T is false, unlike casts *)
+    let v = get_var fr rhs in
+    set_var fr lhs (VBool (v <> VNull && cast_ok st v ty))
+  | Load { lhs; base; fld } -> (
+    match get_var fr base with
+    | VRef a ->
+      let fields = obj_fields st a in
+      let v =
+        match Hashtbl.find_opt fields fld with
+        | Some v -> v
+        | None -> default_value (Ir.field st.prog fld).f_ty
+      in
+      set_var fr lhs v
+    | VNull -> error "NullPointerException: load of field %s"
+                 (Ir.field st.prog fld).f_name
+    | _ -> error "field load on non-object")
+  | Store { base; fld; rhs } -> (
+    match get_var fr base with
+    | VRef a -> Hashtbl.replace (obj_fields st a) fld (get_var fr rhs)
+    | VNull -> error "NullPointerException: store to field %s"
+                 (Ir.field st.prog fld).f_name
+    | _ -> error "field store on non-object")
+  | ALoad { lhs; arr; idx } -> (
+    match (get_var fr arr, get_var fr idx) with
+    | VRef a, VInt i -> (
+      match cell st a with
+      | HArr r ->
+        if i < 0 || i >= Array.length r.elems then
+          error "ArrayIndexOutOfBounds: %d of %d" i (Array.length r.elems);
+        set_var fr lhs r.elems.(i)
+      | _ -> error "indexing a non-array")
+    | VNull, _ -> error "NullPointerException: array load"
+    | _ -> error "bad array load")
+  | AStore { arr; idx; rhs } -> (
+    match (get_var fr arr, get_var fr idx) with
+    | VRef a, VInt i -> (
+      match cell st a with
+      | HArr r ->
+        if i < 0 || i >= Array.length r.elems then
+          error "ArrayIndexOutOfBounds: %d of %d" i (Array.length r.elems);
+        r.elems.(i) <- get_var fr rhs
+      | _ -> error "storing into a non-array")
+    | VNull, _ -> error "NullPointerException: array store"
+    | _ -> error "bad array store")
+  | ALen { lhs; arr } -> (
+    match get_var fr arr with
+    | VRef a -> (
+      match cell st a with
+      | HArr r -> set_var fr lhs (VInt (Array.length r.elems))
+      | HStr s -> set_var fr lhs (VInt (String.length s))
+      | _ -> error "length of non-array")
+    | VNull -> error "NullPointerException: array length"
+    | _ -> error "bad array length")
+  | SLoad { lhs; fld } ->
+    let v =
+      match Hashtbl.find_opt st.statics fld with
+      | Some v -> v
+      | None -> default_value (Ir.field st.prog fld).f_ty
+    in
+    set_var fr lhs v
+  | SStore { fld; rhs } -> Hashtbl.replace st.statics fld (get_var fr rhs)
+  | Binop { lhs; op; a; b } -> set_var fr lhs (eval_binop st op (get_var fr a) (get_var fr b))
+  | Unop { lhs; op; a } -> (
+    match (op, get_var fr a) with
+    | Not, VBool b -> set_var fr lhs (VBool (not b))
+    | Neg, VInt n -> set_var fr lhs (VInt (-n))
+    | _ -> error "bad unary operand")
+  | Invoke { lhs; kind; recv; target; args; site } ->
+    let argv = Array.map (get_var fr) args in
+    let recv_v = Option.map (get_var fr) recv in
+    let callee =
+      match kind with
+      | Static | Special -> target
+      | Virtual -> (
+        match recv_v with
+        | Some (VRef a) -> (
+          match value_class st (VRef a) with
+          | Some cls -> (
+            let name = (Ir.metho st.prog target).m_name in
+            match Ir.dispatch st.prog cls name with
+            | Some m -> m
+            | None -> error "no implementation of %s in %s" name
+                        (Ir.class_name st.prog cls))
+          | None -> error "virtual call on array")
+        | Some VNull -> error "NullPointerException: call to %s"
+                          (Ir.method_name st.prog target)
+        | _ -> error "virtual call on non-object")
+    in
+    Hashtbl.replace st.edges (site, callee) ();
+    let result = call_method st callee recv_v argv in
+    (match lhs with Some l -> set_var fr l result | None -> ())
+  | Return None -> raise (Return_value VNull)
+  | Return (Some v) -> raise (Return_value (get_var fr v))
+  | If { cond; then_; else_; _ } -> (
+    match get_var fr cond with
+    | VBool true -> exec_stmts st fr then_
+    | VBool false -> exec_stmts st fr else_
+    | _ -> error "non-boolean condition")
+  | While { cond; cond_pre; body } ->
+    let rec loop () =
+      exec_stmts st fr cond_pre;
+      match get_var fr cond with
+      | VBool true ->
+        exec_stmts st fr body;
+        loop ()
+      | VBool false -> ()
+      | _ -> error "non-boolean condition"
+    in
+    loop ()
+  | Print { arg } -> st.out <- string_of_value st (get_var fr arg) :: st.out
+
+and eval_binop st op (a : value) (b : value) : value =
+  let int_op f =
+    match (a, b) with
+    | VInt x, VInt y -> VInt (f x y)
+    | _ -> error "non-int operands"
+  in
+  let cmp_op f =
+    match (a, b) with
+    | VInt x, VInt y -> VBool (f x y)
+    | _ -> error "non-int comparison"
+  in
+  ignore st;
+  match op with
+  | Add -> int_op ( + )
+  | Sub -> int_op ( - )
+  | Mul -> int_op ( * )
+  | Div -> int_op (fun x y -> if y = 0 then error "division by zero" else x / y)
+  | Mod -> int_op (fun x y -> if y = 0 then error "modulo by zero" else x mod y)
+  | Lt -> cmp_op ( < )
+  | Le -> cmp_op ( <= )
+  | Gt -> cmp_op ( > )
+  | Ge -> cmp_op ( >= )
+  | Eq -> VBool (a = b)
+  | Ne -> VBool (a <> b)
+  | And -> (
+    match (a, b) with VBool x, VBool y -> VBool (x && y) | _ -> error "non-bool &&")
+  | Or -> (
+    match (a, b) with VBool x, VBool y -> VBool (x || y) | _ -> error "non-bool ||")
+
+and call_method st (mid : Ir.method_id) (recv : value option) (argv : value array)
+    : value =
+  ignore (Bits.add st.reach mid);
+  let m = Ir.metho st.prog mid in
+  let fr : frame = Hashtbl.create 16 in
+  (match (m.m_this, recv) with
+  | Some this, Some v -> set_var fr this v
+  | Some _, None -> error "instance method without receiver"
+  | None, _ -> ());
+  if Array.length m.m_params <> Array.length argv then
+    error "arity mismatch calling %s" (Ir.method_name st.prog mid);
+  Array.iteri (fun i p -> set_var fr p argv.(i)) m.m_params;
+  match exec_stmts st fr m.m_body with
+  | () -> VNull (* fell off the end *)
+  | exception Return_value v -> v
+
+(** Run [prog] from its [main]. [max_steps] bounds execution (default 50M). *)
+let run ?(max_steps = 50_000_000) (prog : Ir.program) : outcome =
+  let st =
+    {
+      prog;
+      heap = Vec.create (HStr "");
+      statics = Hashtbl.create 16;
+      out = [];
+      reach = Bits.create ();
+      edges = Hashtbl.create 256;
+      steps = 0;
+      max_steps;
+    }
+  in
+  ignore (call_method st prog.main None [||]);
+  {
+    output = List.rev st.out;
+    dyn_reachable = st.reach;
+    dyn_edges = Hashtbl.fold (fun k () acc -> k :: acc) st.edges [];
+    steps = st.steps;
+  }

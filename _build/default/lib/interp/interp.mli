@@ -1,0 +1,30 @@
+(** Concrete interpreter for the IR — the substrate of the paper's §5.1
+    recall experiment and of the runnable examples.
+
+    Executes a program from its [main], recording output, dynamically
+    reachable methods and dynamic call edges. Any sound static analysis must
+    over-approximate the latter two. *)
+
+module Ir = Csc_ir.Ir
+
+type value =
+  | VNull
+  | VInt of int
+  | VBool of bool
+  | VRef of int  (** heap address *)
+
+type outcome = {
+  output : string list;  (** [System.print] lines, in order *)
+  dyn_reachable : Csc_common.Bits.t;  (** method ids entered at least once *)
+  dyn_edges : (Ir.call_id * Ir.method_id) list;  (** dynamic call edges *)
+  steps : int;
+}
+
+(** Raised on runtime errors: null dereference, failing cast, index out of
+    bounds, division by zero, or an exhausted step budget. *)
+exception Runtime_error of string
+
+(** [run ?max_steps prog] executes [prog.main] to completion.
+    [max_steps] (default 50M) bounds execution so generator or frontend bugs
+    surface as {!Runtime_error} instead of hangs. *)
+val run : ?max_steps:int -> Ir.program -> outcome

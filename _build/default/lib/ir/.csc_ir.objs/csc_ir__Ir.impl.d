@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Csc_common Fmt Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Fmt Hashtbl Ir List Option String

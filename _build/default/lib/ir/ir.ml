@@ -1,0 +1,355 @@
+(** Typed three-address IR shared by every analysis and the interpreter.
+
+    All entities are dense ints: classes, fields, methods, variables,
+    allocation sites, call sites and cast sites each have their own id space,
+    with side tables in {!type-program}. Control flow stays structured
+    ([If]/[While]) so the concrete interpreter can execute it; the
+    flow-insensitive analyses simply walk every statement recursively. *)
+
+type class_id = int
+type field_id = int
+type method_id = int
+type var_id = int
+type alloc_id = int
+type call_id = int
+type cast_id = int
+
+type typ =
+  | Tint
+  | Tbool
+  | Tvoid
+  | Tnull
+  | Tclass of class_id
+  | Tarray of typ
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Not | Neg
+
+type invoke_kind =
+  | Virtual  (** dynamic dispatch on the receiver *)
+  | Special  (** constructor invocation: exact target *)
+  | Static   (** no receiver *)
+
+type stmt =
+  | New of { lhs : var_id; cls : class_id; site : alloc_id }
+  | NewArray of { lhs : var_id; elem : typ; len : var_id; site : alloc_id }
+  | StrConst of { lhs : var_id; value : string; site : alloc_id }
+  | ConstInt of { lhs : var_id; value : int }
+  | ConstBool of { lhs : var_id; value : bool }
+  | ConstNull of { lhs : var_id }
+  | Copy of { lhs : var_id; rhs : var_id }
+  | Cast of { lhs : var_id; ty : typ; rhs : var_id; site : cast_id }
+  | InstanceOf of { lhs : var_id; ty : typ; rhs : var_id; site : cast_id }
+      (** lhs = rhs instanceof ty (lhs is boolean; site shares the cast-site
+          table, with [x_kind = `InstanceOf]) *)
+  | Load of { lhs : var_id; base : var_id; fld : field_id }
+  | Store of { base : var_id; fld : field_id; rhs : var_id }
+  | ALoad of { lhs : var_id; arr : var_id; idx : var_id }
+      (** lhs = arr[idx]; the analyses smash indices, the interpreter doesn't *)
+  | AStore of { arr : var_id; idx : var_id; rhs : var_id }
+  | ALen of { lhs : var_id; arr : var_id }
+  | SLoad of { lhs : var_id; fld : field_id }    (** static field load *)
+  | SStore of { fld : field_id; rhs : var_id }
+  | Binop of { lhs : var_id; op : binop; a : var_id; b : var_id }
+  | Unop of { lhs : var_id; op : unop; a : var_id }
+  | Invoke of {
+      lhs : var_id option;
+      kind : invoke_kind;
+      recv : var_id option;              (** None iff Static *)
+      target : method_id;
+          (** Static/Special: exact callee. Virtual: the method found in the
+              receiver's static type, used as the dispatch key (name lookup
+              happens on the runtime class). *)
+      args : var_id array;
+      site : call_id;
+    }
+  | Return of var_id option
+  | If of { cond : var_id; cond_pre : stmt array; then_ : stmt array; else_ : stmt array }
+      (** [cond_pre] recomputes the condition; needed only by [While] re-tests,
+          kept uniform here. *)
+  | While of { cond : var_id; cond_pre : stmt array; body : stmt array }
+  | Print of { arg : var_id }
+  | Nop
+
+type var = {
+  v_id : var_id;
+  v_name : string;
+  v_ty : typ;
+  v_method : method_id;
+  v_kind : [ `Param of int | `This | `Local | `Temp | `Ret ];
+}
+
+type metho = {
+  m_id : method_id;
+  m_class : class_id;
+  m_name : string;
+  m_static : bool;
+  m_this : var_id option;               (** Some for instance methods *)
+  m_params : var_id array;              (** excludes this *)
+  m_ret_ty : typ;
+  m_ret_var : var_id option;
+      (** single-return-variable convention, see DESIGN.md §3 *)
+  m_body : stmt array;
+}
+
+type field = {
+  f_id : field_id;
+  f_class : class_id;                   (** declaring class *)
+  f_name : string;
+  f_ty : typ;
+  f_static : bool;
+}
+
+type klass = {
+  c_id : class_id;
+  c_name : string;
+  c_super : class_id option;            (** None only for Object *)
+  c_fields : field_id list;             (** declared (not inherited) *)
+  c_methods : method_id list;           (** declared *)
+}
+
+type alloc_site = {
+  a_id : alloc_id;
+  a_kind : [ `Class of class_id | `Array of typ | `String ];
+  a_method : method_id;
+  a_line : int;
+}
+
+type call_site = {
+  cs_id : call_id;
+  cs_method : method_id;                (** containing method *)
+  cs_line : int;
+  cs_kind : invoke_kind;
+  cs_lhs : var_id option;
+  cs_recv : var_id option;
+  cs_args : var_id array;
+  cs_target : method_id;
+}
+
+type cast_site = {
+  x_id : cast_id;
+  x_method : method_id;
+  x_ty : typ;
+  x_line : int;
+  x_kind : [ `Cast | `InstanceOf ];
+}
+
+type program = {
+  classes : klass array;
+  fields : field array;
+  methods : metho array;
+  vars : var array;
+  allocs : alloc_site array;
+  calls : call_site array;
+  casts : cast_site array;
+  main : method_id;
+  object_cls : class_id;
+  string_cls : class_id;
+  (* ---- derived tables (computed once by Build.finish) ---- *)
+  def_counts : int array;               (** per-var number of defining stmts *)
+  vtables : (string, method_id) Hashtbl.t array;
+      (** per-class: method name -> most-derived implementation *)
+  subtypes : Csc_common.Bits.t array;   (** per-class: set of subclasses (incl. self) *)
+}
+
+(* ------------------------------------------------------------- accessors *)
+
+let klass p c = p.classes.(c)
+let metho p m = p.methods.(m)
+let var p v = p.vars.(v)
+let field p f = p.fields.(f)
+let alloc p a = p.allocs.(a)
+let call p c = p.calls.(c)
+let cast p x = p.casts.(x)
+
+let class_name p c = p.classes.(c).c_name
+let method_name p m =
+  let mm = p.methods.(m) in
+  Printf.sprintf "%s.%s" (class_name p mm.m_class) mm.m_name
+
+let var_name p v = p.vars.(v).v_name
+
+(** [subclass_of p a b] : is class [a] a subclass of (or equal to) [b]? *)
+let subclass_of p a b = Csc_common.Bits.mem p.subtypes.(b) a
+
+(** Reference-type subtyping, covariant arrays, null <: everything. *)
+let rec subtype p (a : typ) (b : typ) : bool =
+  match (a, b) with
+  | Tnull, (Tclass _ | Tarray _ | Tnull) -> true
+  | Tclass ca, Tclass cb -> subclass_of p ca cb
+  | Tarray _, Tclass cb -> cb = p.object_cls
+  | Tarray ea, Tarray eb -> subtype p ea eb || ea = eb
+  | Tint, Tint | Tbool, Tbool | Tvoid, Tvoid -> true
+  | _ -> false
+
+(** Dynamic dispatch: the implementation of [name] seen from class [c]. *)
+let dispatch p (c : class_id) (name : string) : method_id option =
+  Hashtbl.find_opt p.vtables.(c) name
+
+let is_ref_type = function
+  | Tclass _ | Tarray _ | Tnull -> true
+  | Tint | Tbool | Tvoid -> false
+
+(** Class of an allocation site's objects, for dispatch/subtype checks.
+    Arrays and strings are handled by the caller where it matters. *)
+let alloc_class p (a : alloc_id) : class_id option =
+  match p.allocs.(a).a_kind with
+  | `Class c -> Some c
+  | `String -> Some p.string_cls
+  | `Array _ -> None
+
+let alloc_typ p (a : alloc_id) : typ =
+  match p.allocs.(a).a_kind with
+  | `Class c -> Tclass c
+  | `String -> Tclass p.string_cls
+  | `Array elem -> Tarray elem
+
+(* ---------------------------------------------------------------- walking *)
+
+(** [iter_stmts f body] visits every statement including nested blocks and
+    condition-recomputation prefixes; flow-insensitive consumers use this. *)
+let rec iter_stmts f (body : stmt array) =
+  Array.iter
+    (fun s ->
+      f s;
+      match s with
+      | If { cond_pre; then_; else_; _ } ->
+        iter_stmts f cond_pre;
+        iter_stmts f then_;
+        iter_stmts f else_
+      | While { cond_pre; body; _ } ->
+        iter_stmts f cond_pre;
+        iter_stmts f body
+      | _ -> ())
+    body
+
+let iter_method_stmts f (m : metho) = iter_stmts f m.m_body
+
+let iter_all_stmts f (p : program) =
+  Array.iter (fun m -> iter_method_stmts (f m.m_id) m) p.methods
+
+(** The variable defined by a statement, if any. *)
+let def_of = function
+  | New { lhs; _ }
+  | NewArray { lhs; _ }
+  | StrConst { lhs; _ }
+  | ConstInt { lhs; _ }
+  | ConstBool { lhs; _ }
+  | ConstNull { lhs }
+  | Copy { lhs; _ }
+  | Cast { lhs; _ }
+  | InstanceOf { lhs; _ }
+  | Load { lhs; _ }
+  | ALoad { lhs; _ }
+  | ALen { lhs; _ }
+  | SLoad { lhs; _ }
+  | Binop { lhs; _ }
+  | Unop { lhs; _ } ->
+    Some lhs
+  | Invoke { lhs; _ } -> lhs
+  | Store _ | AStore _ | SStore _ | Return _ | If _ | While _ | Print _ | Nop ->
+    None
+
+(* --------------------------------------------------------- pretty printing *)
+
+let rec pp_typ p ppf = function
+  | Tint -> Fmt.string ppf "int"
+  | Tbool -> Fmt.string ppf "boolean"
+  | Tvoid -> Fmt.string ppf "void"
+  | Tnull -> Fmt.string ppf "null"
+  | Tclass c -> Fmt.string ppf (class_name p c)
+  | Tarray t -> Fmt.pf ppf "%a[]" (pp_typ p) t
+
+let pp_var p ppf v = Fmt.string ppf (var_name p v)
+
+let rec pp_stmt p ppf (s : stmt) =
+  let v = pp_var p in
+  match s with
+  | New { lhs; cls; site } ->
+    Fmt.pf ppf "%a = new %s /*o%d*/" v lhs (class_name p cls) site
+  | NewArray { lhs; elem; len; site } ->
+    Fmt.pf ppf "%a = new %a[%a] /*o%d*/" v lhs (pp_typ p) elem v len site
+  | StrConst { lhs; value; site } -> Fmt.pf ppf "%a = %S /*o%d*/" v lhs value site
+  | ConstInt { lhs; value } -> Fmt.pf ppf "%a = %d" v lhs value
+  | ConstBool { lhs; value } -> Fmt.pf ppf "%a = %b" v lhs value
+  | ConstNull { lhs } -> Fmt.pf ppf "%a = null" v lhs
+  | Copy { lhs; rhs } -> Fmt.pf ppf "%a = %a" v lhs v rhs
+  | Cast { lhs; ty; rhs; _ } -> Fmt.pf ppf "%a = (%a) %a" v lhs (pp_typ p) ty v rhs
+  | InstanceOf { lhs; ty; rhs; _ } ->
+    Fmt.pf ppf "%a = %a instanceof %a" v lhs v rhs (pp_typ p) ty
+  | Load { lhs; base; fld } ->
+    Fmt.pf ppf "%a = %a.%s" v lhs v base (field p fld).f_name
+  | Store { base; fld; rhs } ->
+    Fmt.pf ppf "%a.%s = %a" v base (field p fld).f_name v rhs
+  | ALoad { lhs; arr; idx } -> Fmt.pf ppf "%a = %a[%a]" v lhs v arr v idx
+  | AStore { arr; idx; rhs } -> Fmt.pf ppf "%a[%a] = %a" v arr v idx v rhs
+  | ALen { lhs; arr } -> Fmt.pf ppf "%a = %a.length" v lhs v arr
+  | SLoad { lhs; fld } ->
+    let f = field p fld in
+    Fmt.pf ppf "%a = %s.%s" v lhs (class_name p f.f_class) f.f_name
+  | SStore { fld; rhs } ->
+    let f = field p fld in
+    Fmt.pf ppf "%s.%s = %a" (class_name p f.f_class) f.f_name v rhs
+  | Binop { lhs; a; b; _ } -> Fmt.pf ppf "%a = %a <op> %a" v lhs v a v b
+  | Unop { lhs; a; _ } -> Fmt.pf ppf "%a = <op> %a" v lhs v a
+  | Invoke { lhs; recv; target; args; site; _ } ->
+    Fmt.pf ppf "%a%a%s(%a) /*cs%d*/"
+      (Fmt.option (fun ppf l -> Fmt.pf ppf "%a = " v l)) lhs
+      (Fmt.option (fun ppf r -> Fmt.pf ppf "%a." v r)) recv
+      (method_name p target)
+      (Fmt.array ~sep:(Fmt.any ", ") v) args
+      site
+  | Return None -> Fmt.string ppf "return"
+  | Return (Some x) -> Fmt.pf ppf "return %a" v x
+  | If { cond; then_; else_; _ } ->
+    Fmt.pf ppf "if (%a) { %a } else { %a }" v cond
+      (Fmt.array ~sep:(Fmt.any "; ") (pp_stmt p)) then_
+      (Fmt.array ~sep:(Fmt.any "; ") (pp_stmt p)) else_
+  | While { cond; body; _ } ->
+    Fmt.pf ppf "while (%a) { %a }" v cond
+      (Fmt.array ~sep:(Fmt.any "; ") (pp_stmt p)) body
+  | Print { arg } -> Fmt.pf ppf "print(%a)" v arg
+  | Nop -> Fmt.string ppf "nop"
+
+let pp_method p ppf (m : metho) =
+  Fmt.pf ppf "@[<v 2>%s%s(%a) {@,%a@]@,}"
+    (if m.m_static then "static " else "")
+    (method_name p m.m_id)
+    (Fmt.array ~sep:(Fmt.any ", ") (pp_var p)) m.m_params
+    (Fmt.array ~sep:Fmt.cut (pp_stmt p)) m.m_body
+
+let pp_program ppf (p : program) =
+  Array.iter (fun m -> Fmt.pf ppf "%a@." (pp_method p) m) p.methods
+
+(* ------------------------------------------------------------- statistics *)
+
+type stats = {
+  n_classes : int;
+  n_methods : int;
+  n_vars : int;
+  n_allocs : int;
+  n_calls : int;
+  n_casts : int;
+  n_stmts : int;
+}
+
+let stats (p : program) : stats =
+  let n = ref 0 in
+  iter_all_stmts (fun _ _ -> incr n) p;
+  {
+    n_classes = Array.length p.classes;
+    n_methods = Array.length p.methods;
+    n_vars = Array.length p.vars;
+    n_allocs = Array.length p.allocs;
+    n_calls = Array.length p.calls;
+    n_casts = Array.length p.casts;
+    n_stmts = !n;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "classes=%d methods=%d vars=%d allocs=%d calls=%d casts=%d stmts=%d"
+    s.n_classes s.n_methods s.n_vars s.n_allocs s.n_calls s.n_casts s.n_stmts

@@ -1,0 +1,158 @@
+(** IR well-formedness checker.
+
+    Run after lowering (and over generated workloads) to catch frontend or
+    generator bugs early: variable ownership, call-site table consistency,
+    arity agreement, site back-references, vtable sanity. Returns a list of
+    human-readable violations (empty = valid). *)
+
+let check (p : Ir.program) : string list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let n_vars = Array.length p.vars in
+  let n_methods = Array.length p.methods in
+  let n_fields = Array.length p.fields in
+  let n_classes = Array.length p.classes in
+  let check_var ~owner v what =
+    if v < 0 || v >= n_vars then err "%s: variable id %d out of range" what v
+    else begin
+      let vr = p.vars.(v) in
+      if vr.v_id <> v then err "%s: variable %d has inconsistent id" what v;
+      if vr.v_method <> owner then
+        err "%s: variable %s belongs to %s, used in %s" what vr.v_name
+          (Ir.method_name p vr.v_method) (Ir.method_name p owner)
+    end
+  in
+  let check_field f what =
+    if f < 0 || f >= n_fields then err "%s: field id %d out of range" what f
+  in
+  (* ---- classes ---- *)
+  Array.iteri
+    (fun i (k : Ir.klass) ->
+      if k.c_id <> i then err "class %s: inconsistent id" k.c_name;
+      (match k.c_super with
+      | Some s when s < 0 || s >= n_classes ->
+        err "class %s: super out of range" k.c_name
+      | Some s when s = i -> err "class %s: is its own superclass" k.c_name
+      | _ -> ());
+      List.iter
+        (fun m ->
+          if m < 0 || m >= n_methods then
+            err "class %s: method id out of range" k.c_name
+          else if (Ir.metho p m).m_class <> i then
+            err "class %s: declares method %s of another class" k.c_name
+              (Ir.method_name p m))
+        k.c_methods;
+      List.iter
+        (fun f ->
+          check_field f ("class " ^ k.c_name);
+          if f >= 0 && f < n_fields && p.fields.(f).f_class <> i then
+            err "class %s: declares field of another class" k.c_name)
+        k.c_fields)
+    p.classes;
+  (* ---- methods & bodies ---- *)
+  Array.iteri
+    (fun i (m : Ir.metho) ->
+      let name = Ir.method_name p i in
+      if m.m_id <> i then err "method %s: inconsistent id" name;
+      if m.m_static && m.m_this <> None then err "method %s: static with this" name;
+      if (not m.m_static) && m.m_this = None then
+        err "method %s: instance method without this" name;
+      (match m.m_this with Some t -> check_var ~owner:i t name | None -> ());
+      Array.iter (fun v -> check_var ~owner:i v name) m.m_params;
+      (match m.m_ret_var with
+      | Some rv ->
+        check_var ~owner:i rv name;
+        if m.m_ret_ty = Tvoid then err "method %s: void with return var" name
+      | None -> ());
+      Ir.iter_stmts
+        (fun s ->
+          (match Ir.def_of s with Some v -> check_var ~owner:i v name | None -> ());
+          match s with
+          | Copy { rhs; _ } | Cast { rhs; _ } | InstanceOf { rhs; _ } ->
+            check_var ~owner:i rhs name
+          | Load { base; fld; _ } ->
+            check_var ~owner:i base name;
+            check_field fld name
+          | Store { base; fld; rhs } ->
+            check_var ~owner:i base name;
+            check_var ~owner:i rhs name;
+            check_field fld name
+          | ALoad { arr; idx; _ } ->
+            check_var ~owner:i arr name;
+            check_var ~owner:i idx name
+          | AStore { arr; idx; rhs } ->
+            check_var ~owner:i arr name;
+            check_var ~owner:i idx name;
+            check_var ~owner:i rhs name
+          | SLoad { fld; _ } | SStore { fld; _ } -> check_field fld name
+          | Invoke { kind; recv; target; args; site; lhs } -> (
+            if target < 0 || target >= n_methods then
+              err "%s: call target out of range" name
+            else begin
+              let callee = Ir.metho p target in
+              if Array.length args <> Array.length callee.m_params then
+                err "%s: arity mismatch calling %s" name (Ir.method_name p target);
+              (match (kind, recv) with
+              | Ir.Static, Some _ -> err "%s: static call with receiver" name
+              | (Ir.Virtual | Ir.Special), None ->
+                err "%s: instance call without receiver" name
+              | _ -> ());
+              Option.iter (fun r -> check_var ~owner:i r name) recv;
+              Array.iter (fun a -> check_var ~owner:i a name) args
+            end;
+            if site < 0 || site >= Array.length p.calls then
+              err "%s: call site out of range" name
+            else
+              let cs = Ir.call p site in
+              if cs.cs_method <> i then err "%s: call site owned elsewhere" name;
+              if cs.cs_target <> target || cs.cs_lhs <> lhs || cs.cs_recv <> recv
+              then err "%s: call site table disagrees with statement" name)
+          | If { cond; _ } | While { cond; _ } -> check_var ~owner:i cond name
+          | Return (Some v) -> check_var ~owner:i v name
+          | _ -> ())
+        m.m_body)
+    p.methods;
+  (* ---- sites ---- *)
+  Array.iteri
+    (fun i (a : Ir.alloc_site) ->
+      if a.a_id <> i then err "alloc site %d: inconsistent id" i;
+      if a.a_method < 0 || a.a_method >= n_methods then
+        err "alloc site %d: method out of range" i)
+    p.allocs;
+  Array.iteri
+    (fun i (x : Ir.cast_site) ->
+      if x.x_id <> i then err "cast site %d: inconsistent id" i;
+      if x.x_method < 0 || x.x_method >= n_methods then
+        err "cast site %d: method out of range" i)
+    p.casts;
+  (* ---- entry ---- *)
+  if p.main < 0 || p.main >= n_methods then err "main out of range"
+  else begin
+    let m = Ir.metho p p.main in
+    if not m.m_static then err "main is not static";
+    if Array.length m.m_params <> 0 then err "main takes parameters"
+  end;
+  (* ---- vtables ---- *)
+  Array.iteri
+    (fun c vt ->
+      Hashtbl.iter
+        (fun mname mid ->
+          if mid < 0 || mid >= n_methods then
+            err "vtable of %s: method out of range" (Ir.class_name p c)
+          else begin
+            let m = Ir.metho p mid in
+            if m.m_name <> mname then
+              err "vtable of %s: name mismatch for %s" (Ir.class_name p c) mname;
+            if not (Ir.subclass_of p c m.m_class) then
+              err "vtable of %s: impl from non-ancestor %s" (Ir.class_name p c)
+                (Ir.method_name p mid)
+          end)
+        vt)
+    p.vtables;
+  List.rev !errs
+
+(** Raises [Failure] with all violations if the program is malformed. *)
+let check_exn (p : Ir.program) : unit =
+  match check p with
+  | [] -> ()
+  | errs -> failwith ("invalid IR:\n  " ^ String.concat "\n  " errs)

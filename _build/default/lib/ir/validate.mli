@@ -1,0 +1,9 @@
+(** IR well-formedness checker: variable ownership, call-site table
+    consistency, arity agreement, site back-references, vtable sanity.
+    Run over every frontend output in the test suite. *)
+
+(** Human-readable violations; empty means valid. *)
+val check : Ir.program -> string list
+
+(** Raises [Failure] listing all violations if the program is malformed. *)
+val check_exn : Ir.program -> unit

@@ -1,0 +1,1 @@
+lib/lang/frontend.ml: Csc_ir Jdk Resolver

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Array Ast Buffer List String

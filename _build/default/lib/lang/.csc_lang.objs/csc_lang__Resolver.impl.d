@@ -1,0 +1,1 @@
+lib/lang/resolver.ml: Array Ast Bits Csc_common Csc_ir Hashtbl List Parser Printf Vec

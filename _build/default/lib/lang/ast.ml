@@ -1,0 +1,98 @@
+(** Abstract syntax of MiniJava, the Java-like source language that stands in
+    for Java bytecode (see DESIGN.md, substitution 1).
+
+    The language covers exactly the features the Cut-Shortcut rules mention:
+    classes with single inheritance, instance/static fields and methods,
+    virtual dispatch, object and array allocation, field and array accesses,
+    casts, and enough arithmetic/control flow for programs to be executable by
+    the concrete interpreter (recall experiment). *)
+
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+type ty =
+  | Ty_int
+  | Ty_bool
+  | Ty_void
+  | Ty_class of string  (** includes "Object" and "String" *)
+  | Ty_array of ty
+
+let rec pp_ty ppf = function
+  | Ty_int -> Fmt.string ppf "int"
+  | Ty_bool -> Fmt.string ppf "boolean"
+  | Ty_void -> Fmt.string ppf "void"
+  | Ty_class c -> Fmt.string ppf c
+  | Ty_array t -> Fmt.pf ppf "%a[]" pp_ty t
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Not | Neg
+
+type expr = { e : expr_desc; e_pos : pos }
+
+and expr_desc =
+  | Int_lit of int
+  | Bool_lit of bool
+  | Str_lit of string
+  | Null_lit
+  | This
+  | Var of string
+  | Field of expr * string               (** e.f *)
+  | Static_field of string * string      (** C.f *)
+  | Index of expr * expr                 (** e[i] *)
+  | Call of expr * string * expr list    (** e.m(args): virtual *)
+  | Self_call of string * expr list      (** m(args): this-call or same-class static *)
+  | Static_call of string * string * expr list  (** C.m(args) *)
+  | New of string * expr list            (** new C(args) *)
+  | New_array of ty * expr               (** new T[n] *)
+  | Cast of ty * expr                    (** (T) e *)
+  | Instanceof of expr * ty              (** e instanceof T *)
+  | Super_call of string * expr list     (** super.m(args); "<init>" = super(args) *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Array_len of expr                    (** e.length *)
+
+type stmt = { s : stmt_desc; s_pos : pos }
+
+and stmt_desc =
+  | Decl of ty * string * expr option    (** T x; or T x = e; *)
+  | Assign of expr * expr                (** lvalue = e; lvalue is Var/Field/Index/Static_field *)
+  | Expr of expr                         (** expression statement (calls) *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Block of stmt list
+  | Print of expr                        (** System.print(e) intrinsic *)
+
+type member =
+  | M_field of { mf_static : bool; mf_ty : ty; mf_name : string; mf_pos : pos }
+  | M_method of {
+      mm_static : bool;
+      mm_ret : ty;
+      mm_name : string;  (** "<init>" for constructors *)
+      mm_params : (ty * string) list;
+      mm_body : stmt list;
+      mm_pos : pos;
+    }
+
+type class_decl = {
+  cd_name : string;
+  cd_super : string option;
+  cd_members : member list;
+  cd_pos : pos;
+}
+
+type program = class_decl list
+
+exception Syntax_error of pos * string
+exception Semantic_error of pos * string
+
+let syntax_error pos fmt =
+  Fmt.kstr (fun s -> raise (Syntax_error (pos, s))) fmt
+
+let semantic_error pos fmt =
+  Fmt.kstr (fun s -> raise (Semantic_error (pos, s))) fmt

@@ -1,0 +1,16 @@
+(** Entry points: compile MiniJava source text (plus the mini-JDK) into an
+    {!Csc_ir.Ir.program}.
+
+    Raises {!Ast.Syntax_error} or {!Ast.Semantic_error} (both carry source
+    positions) on malformed input. *)
+
+(** [compile ?with_jdk sources] parses, resolves and lowers the given
+    [(unit_name, source_text)] pairs into one program. The mini-JDK
+    ({!Jdk.source}) is prepended unless [with_jdk:false]; programs compiled
+    without it cannot use containers, [String] literals still work via a
+    synthesized [Object]-rooted class table. *)
+val compile : ?with_jdk:bool -> (string * string) list -> Csc_ir.Ir.program
+
+(** Convenience wrapper for a single compilation unit. *)
+val compile_string :
+  ?with_jdk:bool -> ?name:string -> string -> Csc_ir.Ir.program

@@ -1,0 +1,11 @@
+(** The mini-JDK: container classes and utilities written in MiniJava,
+    standing in for JDK 1.6 (DESIGN.md, substitution 2).
+
+    Real implementations — an array-backed [ArrayList], node-based
+    [LinkedList] and [ArrayDeque], entry-chain [HashMap] with [keySet]/
+    [values] views, delegating [HashSet]/[Stack]/[Queue], iterators,
+    [Optional], [StringBuilder], [Collections], [Box]/[Pair]/[Util] — so a
+    context-insensitive analysis genuinely merges element flows inside them.
+    The Entrance/Exit/Transfer classification lives in {!Csc_core.Spec}. *)
+
+val source : string

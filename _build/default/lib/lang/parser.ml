@@ -1,0 +1,447 @@
+(** Recursive-descent parser for MiniJava.
+
+    Precedence climbing for binary operators; the classic one-token lookahead
+    trick disambiguates casts [(T) e] from parenthesized expressions. *)
+
+open Ast
+
+type state = {
+  toks : Lexer.loc_token array;
+  mutable k : int;
+}
+
+let peek st = st.toks.(st.k)
+let peek2 st =
+  if st.k + 1 < Array.length st.toks then st.toks.(st.k + 1) else st.toks.(st.k)
+let peekn st n =
+  if st.k + n < Array.length st.toks then st.toks.(st.k + n)
+  else st.toks.(Array.length st.toks - 1)
+
+let advance st = st.k <- st.k + 1
+
+let cur_pos st = (peek st).pos
+
+let describe = function
+  | Lexer.INT n -> Printf.sprintf "integer %d" n
+  | Lexer.STRING _ -> "string literal"
+  | Lexer.IDENT s -> Printf.sprintf "identifier %S" s
+  | Lexer.KW s -> Printf.sprintf "keyword %S" s
+  | Lexer.PUNCT s -> Printf.sprintf "%S" s
+  | Lexer.EOF -> "end of input"
+
+let expect st (t : Lexer.token) =
+  let lt = peek st in
+  if lt.tok = t then advance st
+  else syntax_error lt.pos "expected %s but found %s" (describe t) (describe lt.tok)
+
+let expect_punct st s = expect st (Lexer.PUNCT s)
+let expect_kw st s = expect st (Lexer.KW s)
+
+let eat_punct st s =
+  match (peek st).tok with
+  | Lexer.PUNCT p when p = s ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  let lt = peek st in
+  match lt.tok with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | t -> syntax_error lt.pos "expected identifier but found %s" (describe t)
+
+(* ------------------------------------------------------------------ types *)
+
+let parse_base_type st : ty =
+  let lt = peek st in
+  match lt.tok with
+  | Lexer.KW "int" -> advance st; Ty_int
+  | Lexer.KW "boolean" -> advance st; Ty_bool
+  | Lexer.KW "void" -> advance st; Ty_void
+  | Lexer.IDENT s -> advance st; Ty_class s
+  | t -> syntax_error lt.pos "expected a type but found %s" (describe t)
+
+let rec add_dims st ty =
+  match ((peek st).tok, (peek2 st).tok) with
+  | Lexer.PUNCT "[", Lexer.PUNCT "]" ->
+    advance st;
+    advance st;
+    add_dims st (Ty_array ty)
+  | _ -> ty
+
+let parse_type st : ty = add_dims st (parse_base_type st)
+
+(* ------------------------------------------------------------ expressions *)
+
+(* Tokens that may legally follow a cast's closing paren. *)
+let starts_cast_operand (t : Lexer.token) =
+  match t with
+  | Lexer.IDENT _ | Lexer.INT _ | Lexer.STRING _ | Lexer.PUNCT "("
+  | Lexer.KW ("new" | "this" | "true" | "false" | "null") ->
+    true
+  | _ -> false
+
+(* Detect `(T)` at the current position (which must be at `(`), returning the
+   number of tokens the type occupies, without consuming anything. *)
+let cast_lookahead st =
+  let is_type_tok n =
+    match (peekn st n).tok with
+    | Lexer.KW ("int" | "boolean") | Lexer.IDENT _ -> true
+    | _ -> false
+  in
+  if not (is_type_tok 1) then None
+  else begin
+    (* count array dims *)
+    let n = ref 2 in
+    while
+      (match (peekn st !n).tok with Lexer.PUNCT "[" -> true | _ -> false)
+      && match (peekn st (!n + 1)).tok with Lexer.PUNCT "]" -> true | _ -> false
+    do
+      n := !n + 2
+    done;
+    match ((peekn st !n).tok, (peekn st (!n + 1)).tok) with
+    | Lexer.PUNCT ")", after when starts_cast_operand after ->
+      (* `(Ident)` with a primitive keyword is always a cast; `(Ident)(..)`
+         could be a call of a parenthesized function, which MiniJava does not
+         have, so treating it as a cast is safe. *)
+      Some !n
+    | _ -> None
+  end
+
+let binop_of_punct = function
+  | "+" -> Some (Add, 6)
+  | "-" -> Some (Sub, 6)
+  | "*" -> Some (Mul, 7)
+  | "/" -> Some (Div, 7)
+  | "%" -> Some (Mod, 7)
+  | "<" -> Some (Lt, 5)
+  | "<=" -> Some (Le, 5)
+  | ">" -> Some (Gt, 5)
+  | ">=" -> Some (Ge, 5)
+  | "==" -> Some (Eq, 4)
+  | "!=" -> Some (Ne, 4)
+  | "&&" -> Some (And, 3)
+  | "||" -> Some (Or, 2)
+  | _ -> None
+
+let rec parse_expr st : expr = parse_binary st 0
+
+and parse_binary st min_prec : expr =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (peek st).tok with
+    | Lexer.KW "instanceof" when min_prec <= 5 ->
+      let pos = cur_pos st in
+      advance st;
+      let ty = parse_type st in
+      lhs := { e = Instanceof (!lhs, ty); e_pos = pos }
+    | Lexer.PUNCT p ->
+      (match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        let pos = cur_pos st in
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := { e = Binop (op, !lhs, rhs); e_pos = pos }
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st : expr =
+  let lt = peek st in
+  match lt.tok with
+  | Lexer.PUNCT "!" ->
+    advance st;
+    { e = Unop (Not, parse_unary st); e_pos = lt.pos }
+  | Lexer.PUNCT "-" ->
+    advance st;
+    { e = Unop (Neg, parse_unary st); e_pos = lt.pos }
+  | _ -> parse_postfix st
+
+and parse_postfix st : expr =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    let lt = peek st in
+    match lt.tok with
+    | Lexer.PUNCT "." ->
+      advance st;
+      let name = expect_ident st in
+      if eat_punct st "(" then begin
+        let args = parse_args st in
+        e := { e = Call (!e, name, args); e_pos = lt.pos }
+      end
+      else e := { e = Field (!e, name); e_pos = lt.pos }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := { e = Index (!e, idx); e_pos = lt.pos }
+    | _ -> continue_ := false
+  done;
+  !e
+
+and parse_args st : expr list =
+  (* '(' already consumed *)
+  if eat_punct st ")" then []
+  else begin
+    let args = ref [ parse_expr st ] in
+    while eat_punct st "," do
+      args := parse_expr st :: !args
+    done;
+    expect_punct st ")";
+    List.rev !args
+  end
+
+and parse_primary st : expr =
+  let lt = peek st in
+  let mk e = { e; e_pos = lt.pos } in
+  match lt.tok with
+  | Lexer.INT n -> advance st; mk (Int_lit n)
+  | Lexer.STRING s -> advance st; mk (Str_lit s)
+  | Lexer.KW "true" -> advance st; mk (Bool_lit true)
+  | Lexer.KW "false" -> advance st; mk (Bool_lit false)
+  | Lexer.KW "null" -> advance st; mk Null_lit
+  | Lexer.KW "this" -> advance st; mk This
+  | Lexer.KW "super" ->
+    advance st;
+    if eat_punct st "(" then
+      (* super(args): super-constructor invocation *)
+      mk (Super_call ("<init>", parse_args st))
+    else begin
+      expect_punct st ".";
+      let name = expect_ident st in
+      expect_punct st "(";
+      mk (Super_call (name, parse_args st))
+    end
+  | Lexer.KW "new" ->
+    advance st;
+    let base = parse_base_type st in
+    (match (peek st).tok with
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let len = parse_expr st in
+      expect_punct st "]";
+      (* allow multi-dim declarators to degrade to 1-D of arrays *)
+      let elem = add_dims st base in
+      mk (New_array (elem, len))
+    | _ ->
+      (match base with
+      | Ty_class c ->
+        expect_punct st "(";
+        let args = parse_args st in
+        mk (New (c, args))
+      | _ -> syntax_error lt.pos "cannot 'new' a primitive without []"))
+  | Lexer.PUNCT "(" ->
+    (match cast_lookahead st with
+    | Some ntype_end ->
+      advance st;
+      let ty = parse_type st in
+      ignore ntype_end;
+      expect_punct st ")";
+      let operand = parse_postfix st in
+      mk (Cast (ty, operand))
+    | None ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e)
+  | Lexer.IDENT name -> (
+    (* Could be: variable, self-call m(...), static call C.m(...) or static
+       field C.f — the latter two are resolved later; here we produce
+       Static_call/Static_field only when the identifier is followed by
+       `.x` where the identifier is known to be a class name. That knowledge
+       lives in the resolver, so the parser emits Var/Field/Call and the
+       resolver reinterprets `Field (Var C, f)` when C names a class. *)
+    advance st;
+    match (peek st).tok with
+    | Lexer.PUNCT "(" ->
+      advance st;
+      let args = parse_args st in
+      mk (Self_call (name, args))
+    | _ -> mk (Var name))
+  | t -> syntax_error lt.pos "expected an expression but found %s" (describe t)
+
+(* -------------------------------------------------------------- statements *)
+
+let rec parse_stmt st : stmt =
+  let lt = peek st in
+  let mk s = { s; s_pos = lt.pos } in
+  match lt.tok with
+  | Lexer.PUNCT "{" -> mk (Block (parse_block st))
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      if (peek st).tok = Lexer.KW "else" then begin
+        advance st;
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    mk (If (cond, then_, else_))
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    mk (While (cond, body))
+  | Lexer.KW "for" ->
+    (* desugared to { init; while (cond) { body; update } } *)
+    advance st;
+    expect_punct st "(";
+    let init =
+      if eat_punct st ";" then []
+      else [ parse_stmt st ] (* decl or assignment; consumes the ';' *)
+    in
+    let cond =
+      if (peek st).tok = Lexer.PUNCT ";" then { e = Bool_lit true; e_pos = lt.pos }
+      else parse_expr st
+    in
+    expect_punct st ";";
+    let update =
+      if (peek st).tok = Lexer.PUNCT ")" then []
+      else begin
+        let e = parse_expr st in
+        if eat_punct st "=" then
+          let rhs = parse_expr st in
+          [ { s = Assign (e, rhs); s_pos = lt.pos } ]
+        else [ { s = Expr e; s_pos = lt.pos } ]
+      end
+    in
+    expect_punct st ")";
+    let body = parse_block_or_stmt st in
+    mk (Block (init @ [ { s = While (cond, body @ update); s_pos = lt.pos } ]))
+  | Lexer.KW "return" ->
+    advance st;
+    if eat_punct st ";" then mk (Return None)
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      mk (Return (Some e))
+    end
+  | Lexer.KW ("int" | "boolean") -> parse_decl st
+  | Lexer.IDENT _ when is_decl_lookahead st -> parse_decl st
+  | _ ->
+    let e = parse_expr st in
+    if eat_punct st "=" then begin
+      let rhs = parse_expr st in
+      expect_punct st ";";
+      mk (Assign (e, rhs))
+    end
+    else begin
+      expect_punct st ";";
+      match e.e with
+      | Call ({ e = Var "System"; _ }, "print", [ arg ]) -> mk (Print arg)
+      | _ -> mk (Expr e)
+    end
+
+(* `Foo x ...` or `Foo[] x ...` begins a declaration; `Foo[0] = ...`,
+   `Foo.m()` etc. begin expressions. *)
+and is_decl_lookahead st =
+  match ((peek2 st).tok, (peekn st 2).tok, (peekn st 3).tok) with
+  | Lexer.IDENT _, _, _ -> true
+  | Lexer.PUNCT "[", Lexer.PUNCT "]", _ -> true
+  | _ -> false
+
+and parse_decl st : stmt =
+  let pos = cur_pos st in
+  let ty = parse_type st in
+  let name = expect_ident st in
+  let init =
+    if eat_punct st "=" then Some (parse_expr st) else None
+  in
+  expect_punct st ";";
+  { s = Decl (ty, name, init); s_pos = pos }
+
+and parse_block st : stmt list =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (eat_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_block_or_stmt st : stmt list =
+  if (peek st).tok = Lexer.PUNCT "{" then parse_block st
+  else [ parse_stmt st ]
+
+(* ----------------------------------------------------------------- classes *)
+
+let rec parse_member st ~class_name : member =
+  let pos = cur_pos st in
+  let static = (peek st).tok = Lexer.KW "static" in
+  if static then advance st;
+  (* constructor: `ClassName ( ...` *)
+  match ((peek st).tok, (peek2 st).tok) with
+  | Lexer.IDENT n, Lexer.PUNCT "(" when n = class_name && not static ->
+    advance st;
+    expect_punct st "(";
+    let params = parse_params st in
+    let body = parse_block st in
+    M_method
+      { mm_static = false; mm_ret = Ty_void; mm_name = "<init>";
+        mm_params = params; mm_body = body; mm_pos = pos }
+  | _ ->
+    let ty = parse_type st in
+    let name = expect_ident st in
+    if eat_punct st "(" then begin
+      let params = parse_params st in
+      let body = parse_block st in
+      M_method
+        { mm_static = static; mm_ret = ty; mm_name = name;
+          mm_params = params; mm_body = body; mm_pos = pos }
+    end
+    else begin
+      expect_punct st ";";
+      M_field { mf_static = static; mf_ty = ty; mf_name = name; mf_pos = pos }
+    end
+
+and parse_params st : (ty * string) list =
+  if eat_punct st ")" then []
+  else begin
+    let one () =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      (ty, name)
+    in
+    let ps = ref [ one () ] in
+    while eat_punct st "," do
+      ps := one () :: !ps
+    done;
+    expect_punct st ")";
+    List.rev !ps
+  end
+
+let parse_class st : class_decl =
+  let pos = cur_pos st in
+  expect_kw st "class";
+  let name = expect_ident st in
+  let super =
+    if (peek st).tok = Lexer.KW "extends" then begin
+      advance st;
+      Some (expect_ident st)
+    end
+    else None
+  in
+  expect_punct st "{";
+  let members = ref [] in
+  while not (eat_punct st "}") do
+    members := parse_member st ~class_name:name :: !members
+  done;
+  { cd_name = name; cd_super = super; cd_members = List.rev !members; cd_pos = pos }
+
+let parse_program (src : string) : program =
+  let st = { toks = Lexer.tokenize src; k = 0 } in
+  let classes = ref [] in
+  while (peek st).tok <> Lexer.EOF do
+    classes := parse_class st :: !classes
+  done;
+  List.rev !classes

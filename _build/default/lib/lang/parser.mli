@@ -1,0 +1,9 @@
+(** Recursive-descent parser for MiniJava.
+
+    Precedence-climbing expressions; the classic one-token lookahead
+    disambiguates casts [(T) e] from parenthesized expressions; [for] loops
+    are desugared to [while] during parsing.
+
+    Raises {!Ast.Syntax_error} with a source position on malformed input. *)
+
+val parse_program : string -> Ast.program

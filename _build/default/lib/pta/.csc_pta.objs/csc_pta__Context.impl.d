@@ -1,0 +1,1 @@
+lib/pta/context.ml: Bits Csc_common Csc_ir Printf

@@ -1,0 +1,1 @@
+lib/pta/context.mli: Bits Csc_common Csc_ir

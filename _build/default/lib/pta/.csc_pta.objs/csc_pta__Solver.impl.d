@@ -1,0 +1,1 @@
+lib/pta/solver.ml: Array Bits Context Csc_common Csc_ir Hashtbl Interner List Logs Printf Queue Timer Vec

@@ -1,0 +1,117 @@
+(** Context abstractions for the context-sensitive baselines.
+
+    A context is an interned tuple of ints whose meaning depends on the
+    selector: abstract object ids for object sensitivity, class ids for type
+    sensitivity, call-site ids for call-site sensitivity. Tuples are stored
+    most-recent-first, so k-limiting is [take k]. Selecting the empty tuple
+    everywhere yields context insensitivity — the solver is the same for all
+    analyses (DESIGN.md §3). *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+
+(** The solver-side environment a selector can query. *)
+type env = {
+  prog : Ir.program;
+  ctx_elems : int -> int list;   (** interned context id -> elements *)
+  intern_ctx : int list -> int;
+  obj_alloc : int -> Ir.alloc_id;
+  obj_hctx : int -> int;         (** object id -> its heap context id *)
+}
+
+type t = {
+  sel_name : string;
+  sel_callee_ctx :
+    env ->
+    caller_ctx:int ->
+    site:Ir.call_id ->
+    recv:int option ->
+    callee:Ir.method_id ->
+    int;
+  sel_heap_ctx : env -> mctx:int -> site:Ir.alloc_id -> int;
+}
+
+let rec take k = function
+  | [] -> []
+  | _ when k = 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let empty_ctx (env : env) = env.intern_ctx []
+
+(** Context insensitivity: the empty context everywhere. *)
+let ci : t =
+  {
+    sel_name = "ci";
+    sel_callee_ctx = (fun env ~caller_ctx:_ ~site:_ ~recv:_ ~callee:_ -> empty_ctx env);
+    sel_heap_ctx = (fun env ~mctx:_ ~site:_ -> empty_ctx env);
+  }
+
+(* k-object sensitivity: context elements are allocation sites [Milanova
+   et al. 2005; Smaragdakis et al. 2011]. A callee's context is its receiver
+   object's allocation site consed onto that object's heap context; heap
+   contexts are the allocating method's context truncated to [hk]. *)
+let kobj ~k ~hk : t =
+  {
+    sel_name = Printf.sprintf "%dobj" k;
+    sel_callee_ctx =
+      (fun env ~caller_ctx ~site:_ ~recv ~callee:_ ->
+        match recv with
+        | None -> env.intern_ctx (take k (env.ctx_elems caller_ctx))
+          (* static call: inherit the caller's context *)
+        | Some o ->
+          env.intern_ctx
+            (take k (env.obj_alloc o :: env.ctx_elems (env.obj_hctx o))));
+    sel_heap_ctx =
+      (fun env ~mctx ~site:_ -> env.intern_ctx (take hk (env.ctx_elems mctx)));
+  }
+
+(* k-type sensitivity: as object sensitivity, but each receiver object is
+   abstracted to the class that (lexically) contains its allocation site
+   [Smaragdakis et al. 2011]. *)
+let ktype ~k ~hk : t =
+  let type_of_obj env o =
+    let a = Ir.alloc env.prog (env.obj_alloc o) in
+    (Ir.metho env.prog a.a_method).m_class
+  in
+  {
+    sel_name = Printf.sprintf "%dtype" k;
+    sel_callee_ctx =
+      (fun env ~caller_ctx ~site:_ ~recv ~callee:_ ->
+        match recv with
+        | None -> env.intern_ctx (take k (env.ctx_elems caller_ctx))
+        | Some o ->
+          env.intern_ctx
+            (take k (type_of_obj env o :: env.ctx_elems (env.obj_hctx o))));
+    sel_heap_ctx =
+      (fun env ~mctx ~site:_ -> env.intern_ctx (take hk (env.ctx_elems mctx)));
+  }
+
+(* k-call-site sensitivity (k-CFA). *)
+let kcall ~k ~hk : t =
+  {
+    sel_name = Printf.sprintf "%dcall" k;
+    sel_callee_ctx =
+      (fun env ~caller_ctx ~site ~recv:_ ~callee:_ ->
+        env.intern_ctx (take k (site :: env.ctx_elems caller_ctx)));
+    sel_heap_ctx =
+      (fun env ~mctx ~site:_ -> env.intern_ctx (take hk (env.ctx_elems mctx)));
+  }
+
+(** Selective context sensitivity: apply [base] only to methods in
+    [selected]; everything else is analyzed context-insensitively. Heap
+    contexts likewise apply only to allocations in selected methods. This is
+    the main-analysis half of Zipper^e. *)
+let selective ~(selected : Bits.t) ~(base : t) : t =
+  {
+    sel_name = base.sel_name ^ "-sel";
+    sel_callee_ctx =
+      (fun env ~caller_ctx ~site ~recv ~callee ->
+        if Bits.mem selected callee then
+          base.sel_callee_ctx env ~caller_ctx ~site ~recv ~callee
+        else empty_ctx env);
+    sel_heap_ctx =
+      (fun env ~mctx ~site ->
+        let m = (Ir.alloc env.prog site).a_method in
+        if Bits.mem selected m then base.sel_heap_ctx env ~mctx ~site
+        else empty_ctx env);
+  }

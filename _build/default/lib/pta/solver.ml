@@ -1,0 +1,464 @@
+(** The pointer-analysis engine (the "Tai-e analog" of DESIGN.md S4).
+
+    A worklist-driven Andersen-style solver over an explicit pointer flow
+    graph (PFG), with on-the-fly call-graph construction. It is parameterized
+    by a {!Context.t} selector — the empty selector gives the
+    context-insensitive analysis — and by an optional {!type-plugin} through
+    which Cut-Shortcut observes the analysis and manipulates the PFG
+    (cutting = refusing edges before they are added, shortcutting = adding
+    extra edges), exactly as in Figure 7 of the paper. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+
+(* ------------------------------------------------------------- pointers *)
+
+type ptr_desc =
+  | PVar of int * Ir.var_id        (** context id, variable *)
+  | PField of int * Ir.field_id    (** abstract object id, instance field *)
+  | PArr of int                    (** abstract object id: its array cells *)
+  | PStatic of Ir.field_id
+
+type edge_kind =
+  | KNormal
+  | KReturn of Ir.method_id  (** return edge out of this callee *)
+  | KShortcut
+
+type edge = { e_dst : int; e_filter : Ir.typ option; e_kind : edge_kind }
+
+(* --------------------------------------------------------------- plugin *)
+
+type plugin = {
+  pl_name : string;
+  pl_on_reachable : Ir.method_id -> unit;
+      (** a method became reachable (first time, any context) *)
+  pl_on_call_edge : Ir.call_id -> Ir.method_id -> unit;
+      (** a (site, callee) call edge appeared (first time, any context) *)
+  pl_on_new_pts : int -> Bits.t -> unit;
+      (** pointer id, delta of newly added objects *)
+  pl_on_edge : src:int -> edge -> unit;
+      (** a PFG edge was added *)
+  pl_is_cut_store : base:Ir.var_id -> fld:Ir.field_id -> rhs:Ir.var_id -> bool;
+      (** [cutStores]: refuse the store edges of this statement *)
+  pl_is_cut_return : Ir.method_id -> bool;
+      (** [cutReturns]: refuse return edges out of this callee *)
+}
+
+let no_plugin : plugin =
+  {
+    pl_name = "none";
+    pl_on_reachable = (fun _ -> ());
+    pl_on_call_edge = (fun _ _ -> ());
+    pl_on_new_pts = (fun _ _ -> ());
+    pl_on_edge = (fun ~src:_ _ -> ());
+    pl_is_cut_store = (fun ~base:_ ~fld:_ ~rhs:_ -> false);
+    pl_is_cut_return = (fun _ -> false);
+  }
+
+(* -------------------------------------------------------------- watches *)
+
+type watch =
+  | WLoad of { ctx : int; lhs : Ir.var_id; fld : Ir.field_id }
+  | WStore of { ctx : int; fld : Ir.field_id; rhs : Ir.var_id }
+  | WALoad of { ctx : int; lhs : Ir.var_id }
+  | WAStore of { ctx : int; rhs : Ir.var_id }
+  | WInvoke of { ctx : int; site : Ir.call_id }
+
+(* ---------------------------------------------------------------- state *)
+
+type stats = {
+  mutable st_ptrs : int;
+  mutable st_edges : int;
+  mutable st_prop : int;         (** total objects propagated *)
+  mutable st_call_edges : int;   (** context-full call edges *)
+  mutable st_reach_ctx : int;    (** (ctx, method) pairs *)
+  mutable st_time : float;
+}
+
+type t = {
+  prog : Ir.program;
+  sel : Context.t;
+  mutable plugin : plugin;
+  budget : Timer.budget;
+  (* interners *)
+  ctxs : int list Interner.t;
+  objs : (int * Ir.alloc_id) Interner.t;  (* (hctx, site) *)
+  ptrs : ptr_desc Interner.t;
+  (* per-pointer tables *)
+  pts : Bits.t Vec.t;
+  succs : edge list Vec.t;
+  edge_seen : (int * int, unit) Hashtbl.t;
+  watches : watch list Vec.t;
+  (* worklist *)
+  wl : (int * Bits.t) Queue.t;
+  (* reachability / call graph *)
+  reached : (int * Ir.method_id, unit) Hashtbl.t;
+  reached_methods : Bits.t;
+  call_edges : (int * Ir.call_id * int * Ir.method_id, unit) Hashtbl.t;
+  call_edges_proj : (Ir.call_id * Ir.method_id, unit) Hashtbl.t;
+  stats : stats;
+}
+
+exception Timeout
+
+let log_src = Logs.Src.create "csc.solver" ~doc:"pointer analysis solver"
+
+module Log = (val Logs.src_log log_src)
+
+let create ?(budget = Timer.no_budget) ?(sel = Context.ci) (prog : Ir.program) : t
+    =
+  {
+    prog;
+    sel;
+    plugin = no_plugin;
+    budget;
+    ctxs = Interner.create [];
+    objs = Interner.create (-1, -1);
+    ptrs = Interner.create (PStatic (-1));
+    pts = Vec.create (Bits.create ());
+    succs = Vec.create [];
+    edge_seen = Hashtbl.create 4096;
+    watches = Vec.create [];
+    wl = Queue.create ();
+    reached = Hashtbl.create 256;
+    reached_methods = Bits.create ();
+    call_edges = Hashtbl.create 1024;
+    call_edges_proj = Hashtbl.create 1024;
+    stats =
+      { st_ptrs = 0; st_edges = 0; st_prop = 0; st_call_edges = 0;
+        st_reach_ctx = 0; st_time = 0. };
+  }
+
+let set_plugin t p = t.plugin <- p
+
+(* environment handed to context selectors *)
+let env_of t : Context.env =
+  {
+    prog = t.prog;
+    ctx_elems = (fun c -> Interner.get t.ctxs c);
+    intern_ctx = (fun l -> Interner.intern t.ctxs l);
+    obj_alloc = (fun o -> snd (Interner.get t.objs o));
+    obj_hctx = (fun o -> fst (Interner.get t.objs o));
+  }
+
+(* ------------------------------------------------------------ accessors *)
+
+let intern_ptr t d : int =
+  let n_before = Interner.count t.ptrs in
+  let id = Interner.intern t.ptrs d in
+  if Interner.count t.ptrs > n_before then begin
+    Vec.push t.pts (Bits.create ~capacity:8 ());
+    Vec.push t.succs [];
+    Vec.push t.watches [];
+    t.stats.st_ptrs <- t.stats.st_ptrs + 1
+  end;
+  id
+
+let ptr_var t ~ctx v = intern_ptr t (PVar (ctx, v))
+let ptr_field t ~obj ~fld = intern_ptr t (PField (obj, fld))
+let ptr_arr t ~obj = intern_ptr t (PArr obj)
+let ptr_static t ~fld = intern_ptr t (PStatic fld)
+
+let pts t p = Vec.get t.pts p
+let succs t p = Vec.get t.succs p
+let ptr_desc t p = Interner.get t.ptrs p
+
+let intern_obj t ~hctx ~site : int = Interner.intern t.objs (hctx, site)
+let obj_alloc t o = snd (Interner.get t.objs o)
+let obj_hctx t o = fst (Interner.get t.objs o)
+
+(** Object's runtime class, [None] for arrays. *)
+let obj_class t o = Ir.alloc_class t.prog (obj_alloc t o)
+
+let obj_typ t o = Ir.alloc_typ t.prog (obj_alloc t o)
+
+let filter_delta t (filter : Ir.typ option) (delta : Bits.t) : Bits.t =
+  match filter with
+  | None -> delta
+  | Some ty ->
+    let out = Bits.create () in
+    Bits.iter
+      (fun o -> if Ir.subtype t.prog (obj_typ t o) ty then ignore (Bits.add out o))
+      delta;
+    out
+
+let wl_push t p (objs : Bits.t) =
+  if not (Bits.is_empty objs) then Queue.push (p, objs) t.wl
+
+(** Add an edge src->dst to the PFG; existing points-to facts of [src] flow
+    immediately. No-op if the edge exists. *)
+let add_edge ?(kind = KNormal) ?filter t ~src ~dst =
+  if src <> dst && not (Hashtbl.mem t.edge_seen (src, dst)) then begin
+    Hashtbl.add t.edge_seen (src, dst) ();
+    let e = { e_dst = dst; e_filter = filter; e_kind = kind } in
+    Vec.set t.succs src (e :: Vec.get t.succs src);
+    t.stats.st_edges <- t.stats.st_edges + 1;
+    t.plugin.pl_on_edge ~src e;
+    let cur = pts t src in
+    if not (Bits.is_empty cur) then wl_push t dst (filter_delta t filter cur)
+  end
+
+let seed t p (objs : Bits.t) = wl_push t p objs
+
+let seed1 t p o =
+  let b = Bits.create () in
+  ignore (Bits.add b o);
+  wl_push t p b
+
+(* --------------------------------------------------- reachable methods *)
+
+let add_watch t p w =
+  Vec.set t.watches p (w :: Vec.get t.watches p)
+
+let rec add_reachable t ~ctx ~(mid : Ir.method_id) =
+  if not (Hashtbl.mem t.reached (ctx, mid)) then begin
+    Hashtbl.add t.reached (ctx, mid) ();
+    t.stats.st_reach_ctx <- t.stats.st_reach_ctx + 1;
+    (* context-explosion cascades can spend a long time inside one worklist
+       iteration; keep the budget honest here too *)
+    if t.stats.st_reach_ctx land 255 = 0 then Timer.check t.budget;
+    if Bits.add t.reached_methods mid then t.plugin.pl_on_reachable mid;
+    let m = Ir.metho t.prog mid in
+    Ir.iter_stmts (process_stmt t ~ctx) m.m_body
+  end
+
+and process_stmt t ~ctx (s : Ir.stmt) =
+  let pv v = ptr_var t ~ctx v in
+  match s with
+  | New { lhs; site; _ } | NewArray { lhs; site; _ } | StrConst { lhs; site; _ }
+    ->
+    let hctx = t.sel.sel_heap_ctx (env_of t) ~mctx:ctx ~site in
+    let o = intern_obj t ~hctx ~site in
+    seed1 t (pv lhs) o
+  | Copy { lhs; rhs } ->
+    if Ir.is_ref_type (Ir.var t.prog rhs).v_ty || Ir.is_ref_type (Ir.var t.prog lhs).v_ty
+    then add_edge t ~src:(pv rhs) ~dst:(pv lhs)
+  | Cast { lhs; ty; rhs; _ } -> add_edge ~filter:ty t ~src:(pv rhs) ~dst:(pv lhs)
+  | Load { lhs; base; fld } ->
+    let bp = pv base in
+    add_watch t bp (WLoad { ctx; lhs; fld });
+    process_watch t (WLoad { ctx; lhs; fld }) (pts t bp)
+  | Store { base; fld; rhs } ->
+    if not (t.plugin.pl_is_cut_store ~base ~fld ~rhs) then begin
+      let bp = pv base in
+      add_watch t bp (WStore { ctx; fld; rhs });
+      process_watch t (WStore { ctx; fld; rhs }) (pts t bp)
+    end
+  | ALoad { lhs; arr; _ } ->
+    let ap = pv arr in
+    add_watch t ap (WALoad { ctx; lhs });
+    process_watch t (WALoad { ctx; lhs }) (pts t ap)
+  | AStore { arr; rhs; _ } ->
+    let ap = pv arr in
+    add_watch t ap (WAStore { ctx; rhs });
+    process_watch t (WAStore { ctx; rhs }) (pts t ap)
+  | SLoad { lhs; fld } ->
+    if Ir.is_ref_type (Ir.field t.prog fld).f_ty then
+      add_edge t ~src:(ptr_static t ~fld) ~dst:(pv lhs)
+  | SStore { fld; rhs } ->
+    if Ir.is_ref_type (Ir.field t.prog fld).f_ty then
+      add_edge t ~src:(pv rhs) ~dst:(ptr_static t ~fld)
+  | Invoke { kind = Static; target; site; _ } ->
+    let cctx =
+      t.sel.sel_callee_ctx (env_of t) ~caller_ctx:ctx ~site ~recv:None
+        ~callee:target
+    in
+    add_call_edge t ~caller_ctx:ctx ~site ~callee_ctx:cctx ~callee:target
+      ~recv_obj:None
+  | Invoke { kind = Virtual | Special; recv; site; _ } -> (
+    match recv with
+    | Some r ->
+      let rp = pv r in
+      add_watch t rp (WInvoke { ctx; site });
+      process_watch t (WInvoke { ctx; site }) (pts t rp)
+    | None -> ())
+  | Return _ | If _ | While _ | Print _ | Nop | ConstInt _ | ConstBool _
+  | ConstNull _ | Binop _ | Unop _ | ALen _ | InstanceOf _ ->
+    ()
+
+and process_watch t (w : watch) (delta : Bits.t) =
+  if not (Bits.is_empty delta) then
+    match w with
+    | WLoad { ctx; lhs; fld } ->
+      Bits.iter
+        (fun o ->
+          if obj_class t o <> None then
+            add_edge t ~src:(ptr_field t ~obj:o ~fld) ~dst:(ptr_var t ~ctx lhs))
+        delta
+    | WStore { ctx; fld; rhs } ->
+      Bits.iter
+        (fun o ->
+          if obj_class t o <> None then
+            add_edge t ~src:(ptr_var t ~ctx rhs) ~dst:(ptr_field t ~obj:o ~fld))
+        delta
+    | WALoad { ctx; lhs } ->
+      Bits.iter
+        (fun o ->
+          match obj_typ t o with
+          | Tarray _ -> add_edge t ~src:(ptr_arr t ~obj:o) ~dst:(ptr_var t ~ctx lhs)
+          | _ -> ())
+        delta
+    | WAStore { ctx; rhs } ->
+      Bits.iter
+        (fun o ->
+          match obj_typ t o with
+          | Tarray _ -> add_edge t ~src:(ptr_var t ~ctx rhs) ~dst:(ptr_arr t ~obj:o)
+          | _ -> ())
+        delta
+    | WInvoke { ctx; site } ->
+      let cs = Ir.call t.prog site in
+      Bits.iter
+        (fun o ->
+          let callee =
+            match cs.cs_kind with
+            | Special -> Some cs.cs_target
+            | Static -> None (* unreachable: statics have no receiver watch *)
+            | Virtual -> (
+              match obj_class t o with
+              | Some cls ->
+                Ir.dispatch t.prog cls (Ir.metho t.prog cs.cs_target).m_name
+              | None -> None)
+          in
+          match callee with
+          | Some callee
+            when Array.length (Ir.metho t.prog callee).m_params
+                 = Array.length cs.cs_args ->
+            let cctx =
+              t.sel.sel_callee_ctx (env_of t) ~caller_ctx:ctx ~site
+                ~recv:(Some o) ~callee
+            in
+            add_call_edge t ~caller_ctx:ctx ~site ~callee_ctx:cctx ~callee
+              ~recv_obj:(Some o)
+          | _ -> ())
+        delta
+
+and add_call_edge t ~caller_ctx ~site ~callee_ctx ~callee ~recv_obj =
+  let key = (caller_ctx, site, callee_ctx, callee) in
+  let first_full = not (Hashtbl.mem t.call_edges key) in
+  if first_full then begin
+    Hashtbl.add t.call_edges key ();
+    t.stats.st_call_edges <- t.stats.st_call_edges + 1;
+    if not (Hashtbl.mem t.call_edges_proj (site, callee)) then begin
+      Hashtbl.add t.call_edges_proj (site, callee) ();
+      t.plugin.pl_on_call_edge site callee
+    end;
+    add_reachable t ~ctx:callee_ctx ~mid:callee;
+    let cs = Ir.call t.prog site in
+    let m = Ir.metho t.prog callee in
+    (* arguments *)
+    Array.iteri
+      (fun i arg ->
+        if Ir.is_ref_type (Ir.var t.prog arg).v_ty then
+          add_edge t
+            ~src:(ptr_var t ~ctx:caller_ctx arg)
+            ~dst:(ptr_var t ~ctx:callee_ctx m.m_params.(i)))
+      cs.cs_args;
+    (* return edge, unless cut *)
+    (match (cs.cs_lhs, m.m_ret_var) with
+    | Some lhs, Some rv when Ir.is_ref_type (Ir.var t.prog rv).v_ty ->
+      if not (t.plugin.pl_is_cut_return callee) then
+        add_edge ~kind:(KReturn callee) t
+          ~src:(ptr_var t ~ctx:callee_ctx rv)
+          ~dst:(ptr_var t ~ctx:caller_ctx lhs)
+    | _ -> ())
+  end;
+  (* the triggering receiver flows to `this` even on a repeat edge *)
+  match (recv_obj, (Ir.metho t.prog callee).m_this) with
+  | Some o, Some this -> seed1 t (ptr_var t ~ctx:callee_ctx this) o
+  | _ -> ()
+
+(* ------------------------------------------------------------ main loop *)
+
+let run (t : t) : unit =
+  let t0 = Timer.now () in
+  let entry_ctx = Interner.intern t.ctxs [] in
+  let iter = ref 0 in
+  (try
+     Timer.check t.budget;
+     add_reachable t ~ctx:entry_ctx ~mid:t.prog.main;
+     while not (Queue.is_empty t.wl) do
+       incr iter;
+       if !iter land 255 = 0 then Timer.check t.budget;
+       let p, objs = Queue.pop t.wl in
+       let cur = pts t p in
+       match Bits.union_into ~into:cur objs with
+       | None -> ()
+       | Some delta ->
+         t.stats.st_prop <- t.stats.st_prop + Bits.cardinal delta;
+         (* flow along PFG edges *)
+         List.iter
+           (fun e -> wl_push t e.e_dst (filter_delta t e.e_filter delta))
+           (succs t p);
+         (* statement watches *)
+         List.iter (fun w -> process_watch t w delta) (Vec.get t.watches p);
+         t.plugin.pl_on_new_pts p delta
+     done
+   with Timer.Out_of_budget ->
+     t.stats.st_time <- Timer.now () -. t0;
+     Log.info (fun m ->
+         m "%s+%s: out of budget after %.1fs (%d ctx-methods, %d edges)"
+           t.sel.sel_name t.plugin.pl_name t.stats.st_time t.stats.st_reach_ctx
+           t.stats.st_edges);
+     raise Timeout);
+  t.stats.st_time <- Timer.now () -. t0;
+  Log.info (fun m ->
+      m "%s+%s: done in %.3fs (%d methods, %d ptrs, %d pfg edges, %d props)"
+        t.sel.sel_name t.plugin.pl_name t.stats.st_time
+        (Bits.cardinal t.reached_methods)
+        t.stats.st_ptrs t.stats.st_edges t.stats.st_prop)
+
+(* --------------------------------------------------------------- results *)
+
+(** Context-projected analysis results, shared with the Datalog engine so the
+    precision clients are engine-agnostic. *)
+type result = {
+  r_name : string;
+  r_time : float;
+  r_reach : Bits.t;                               (** reachable methods *)
+  r_edges : (Ir.call_id * Ir.method_id) list;     (** projected call edges *)
+  r_pt : Ir.var_id -> Bits.t;                     (** var -> alloc sites *)
+  r_stats : string;                               (** one-line engine stats *)
+}
+
+let result (t : t) : result =
+  (* project pointer facts onto variables, merging contexts and abstracting
+     objects to their allocation sites *)
+  let var_pt : (Ir.var_id, Bits.t) Hashtbl.t = Hashtbl.create 1024 in
+  Interner.iteri
+    (fun p desc ->
+      match desc with
+      | PVar (_, v) ->
+        let tgt =
+          match Hashtbl.find_opt var_pt v with
+          | Some b -> b
+          | None ->
+            let b = Bits.create () in
+            Hashtbl.add var_pt v b;
+            b
+        in
+        Bits.iter (fun o -> ignore (Bits.add tgt (obj_alloc t o))) (pts t p)
+      | _ -> ())
+    t.ptrs;
+  let empty = Bits.create () in
+  {
+    r_name =
+      (if t.plugin.pl_name = "none" then t.sel.sel_name
+       else t.sel.sel_name ^ "+" ^ t.plugin.pl_name);
+    r_time = t.stats.st_time;
+    r_reach = Bits.copy t.reached_methods;
+    r_edges = Hashtbl.fold (fun k () acc -> k :: acc) t.call_edges_proj [];
+    r_pt =
+      (fun v -> match Hashtbl.find_opt var_pt v with Some b -> b | None -> empty);
+    r_stats =
+      Printf.sprintf
+        "ptrs=%d pfg-edges=%d props=%d cs-call-edges=%d ctx-methods=%d"
+        t.stats.st_ptrs t.stats.st_edges t.stats.st_prop t.stats.st_call_edges
+        t.stats.st_reach_ctx;
+  }
+
+(** Run an analysis end to end. Raises {!Timeout} if the budget expires. *)
+let analyze ?budget ?sel ?plugin_of (prog : Ir.program) : t =
+  let t = create ?budget ?sel prog in
+  (match plugin_of with Some f -> set_plugin t (f t) | None -> ());
+  run t;
+  t

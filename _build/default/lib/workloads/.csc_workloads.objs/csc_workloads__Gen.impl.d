@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Buffer Csc_common Printf Rng

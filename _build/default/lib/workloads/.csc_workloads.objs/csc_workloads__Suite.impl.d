@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Csc_ir Csc_lang Gen List

@@ -1,0 +1,466 @@
+(** Deterministic generator of executable MiniJava workloads (DESIGN.md S11,
+    substitution 3).
+
+    Each generated program mixes the precision-loss shapes the paper's three
+    patterns target, at a controlled scale:
+    - an *entity* layer: classes with fields wrapped in setters/getters
+      (field access pattern), some in small inheritance chains;
+    - a *wrapper* layer: Box-like classes whose constructors delegate to an
+      init method (nested calls for field access, Figure 3);
+    - a *hierarchy* layer: polymorphic base/sub classes driving virtual
+      dispatch and the #poly-call client;
+    - a *registry* layer: classes owning ArrayLists/HashMaps of entities
+      (container access pattern), plus direct container usage with iterators
+      and map views in driver code;
+    - a *utility* layer: static methods whose return values flow from their
+      parameters (local flow pattern, Figure 5);
+    - *driver* classes + a main that populate and query everything inside
+      bounded loops, with downcasts after container reads (#fail-cast).
+
+    Programs are generated from a {!shape} and a seed; the same inputs yield
+    byte-identical sources. Every program terminates under the interpreter
+    (all loops are bounded), which the recall experiment requires. *)
+
+open Csc_common
+
+type shape = {
+  seed : int;
+  n_entity : int;      (** entity classes *)
+  n_fields : int;      (** fields (and setter/getter pairs) per entity *)
+  n_wrap : int;        (** wrapper classes *)
+  n_hier : int;        (** polymorphic hierarchies *)
+  hier_width : int;    (** subclasses per hierarchy *)
+  n_registry : int;    (** container-owning classes *)
+  n_util : int;        (** static utility classes *)
+  n_driver : int;      (** driver classes *)
+  ops_per_driver : int;(** operation methods per driver *)
+  loop_iters : int;    (** runtime loop bound in main *)
+  fork_sites : int;
+      (** size of the single-class factory web: quadratic context blow-up
+          for object sensitivity (type sensitivity is immune: one class) *)
+  mesh_classes : int;
+      (** size of the multi-class factory mesh: context blow-up for type
+          sensitivity too *)
+}
+
+let small_shape =
+  { seed = 42; n_entity = 6; n_fields = 2; n_wrap = 3; n_hier = 2;
+    hier_width = 3; n_registry = 3; n_util = 2; n_driver = 3;
+    ops_per_driver = 4; loop_iters = 3; fork_sites = 6; mesh_classes = 4 }
+
+(* ------------------------------------------------------------ emission *)
+
+type ctx = {
+  buf : Buffer.t;
+  rng : Rng.t;
+  shape : shape;
+}
+
+let pf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+
+let entity c k = Printf.sprintf "Ent%d_%d" c k
+(* class names are namespaced by a numeric component id [c] so that multiple
+   generated units could coexist; we use c = 0 throughout *)
+
+let ent ctx k = entity 0 (k mod ctx.shape.n_entity)
+let wrap_cls k = Printf.sprintf "Wrap%d" k
+let base_cls h = Printf.sprintf "Base%d" h
+let sub_cls h i = Printf.sprintf "Sub%d_%d" h i
+let reg_cls k = Printf.sprintf "Reg%d" k
+let util_cls k = Printf.sprintf "Util%d" k
+let driver_cls k = Printf.sprintf "Driver%d" k
+
+(* ---- entity layer ---- *)
+
+let emit_entities ctx =
+  let s = ctx.shape in
+  for k = 0 to s.n_entity - 1 do
+    let name = ent ctx k in
+    (* a third of the entities extend the previous one, forming chains *)
+    let extends =
+      if k > 0 && Rng.chance ctx.rng 33 then
+        Printf.sprintf " extends %s" (ent ctx (k - 1))
+      else ""
+    in
+    pf ctx "class %s%s {\n" name extends;
+    for f = 0 to s.n_fields - 1 do
+      pf ctx "  Object fld%d_%d;\n" k f;
+      pf ctx "  void set%d(Object v) { this.fld%d_%d = v; }\n" f k f;
+      pf ctx "  Object get%d() { return this.fld%d_%d; }\n" f k f
+    done;
+    (* an identity-ish method: direct flow through an instance method *)
+    pf ctx "  Object self%d(Object x) { Object r = x; return r; }\n" k;
+    pf ctx "}\n\n"
+  done
+
+(* ---- wrapper layer (nested constructor stores, Figure 3) ---- *)
+
+let emit_wrappers ctx =
+  let s = ctx.shape in
+  for k = 0 to s.n_wrap - 1 do
+    pf ctx "class %s {\n" (wrap_cls k);
+    pf ctx "  Object value%d;\n" k;
+    pf ctx "  %s(Object v) { this.init%d(v); }\n" (wrap_cls k) k;
+    pf ctx "  void init%d(Object v) { this.value%d = v; }\n" k k;
+    pf ctx "  Object unwrap%d() { return this.value%d; }\n" k k;
+    (* a re-wrapping helper: deepens call chains *)
+    pf ctx "  Object viaUtil%d(Object x) { return Util%d.ident(x); }\n" k
+      (k mod (max 1 s.n_util));
+    pf ctx "}\n\n"
+  done
+
+(* ---- polymorphic hierarchies ---- *)
+
+let emit_hierarchies ctx =
+  let s = ctx.shape in
+  for h = 0 to s.n_hier - 1 do
+    pf ctx "class %s {\n" (base_cls h);
+    pf ctx "  Object payload%d;\n" h;
+    pf ctx "  Object act() { return this.payload%d; }\n" h;
+    pf ctx "  void load(Object p) { this.payload%d = p; }\n" h;
+    pf ctx "  int kindId() { return 0; }\n";
+    pf ctx "}\n\n";
+    for i = 0 to s.hier_width - 1 do
+      pf ctx "class %s extends %s {\n" (sub_cls h i) (base_cls h);
+      pf ctx "  Object state%d_%d;\n" h i;
+      if i mod 2 = 0 then
+        pf ctx "  Object act() { Object r = this.state%d_%d; if (r == null) { r = new Object(); } return r; }\n"
+          h i
+      else
+        (* odd subclasses defer to the superclass implementation *)
+        pf ctx "  Object act() { Object r = super.act(); if (r == null) { r = this.state%d_%d; } return r; }\n"
+          h i;
+      pf ctx "  void prime() { this.state%d_%d = new Object(); }\n" h i;
+      pf ctx "  int kindId() { return %d; }\n" (i + 1);
+      pf ctx "}\n\n"
+    done
+  done
+
+(* ---- registry layer (containers behind methods) ---- *)
+
+let emit_registries ctx =
+  let s = ctx.shape in
+  for k = 0 to s.n_registry - 1 do
+    let name = reg_cls k in
+    pf ctx "class %s {\n" name;
+    pf ctx "  ArrayList items%d;\n" k;
+    pf ctx "  HashMap index%d;\n" k;
+    pf ctx "  %s() { this.items%d = new ArrayList(); this.index%d = new HashMap(); }\n"
+      name k k;
+    pf ctx "  void register(Object o) { this.items%d.add(o); }\n" k;
+    pf ctx "  void assoc(Object key, Object v) { this.index%d.put(key, v); }\n" k;
+    pf ctx "  Object at(int i) { return this.items%d.get(i); }\n" k;
+    pf ctx "  Object find(Object key) { return this.index%d.get(key); }\n" k;
+    pf ctx "  int count() { return this.items%d.size(); }\n" k;
+    pf ctx "  Iterator all() { return this.items%d.iterator(); }\n" k;
+    pf ctx "  Iterator keys() { return this.index%d.keySet().iterator(); }\n" k;
+    pf ctx "}\n\n"
+  done
+
+(* ---- utility layer (local flow) ---- *)
+
+let emit_utils ctx =
+  let s = ctx.shape in
+  for k = 0 to s.n_util - 1 do
+    pf ctx "class %s {\n" (util_cls k);
+    pf ctx "  static Object ident(Object x) { return x; }\n";
+    pf ctx "  static Object choose(boolean c, Object a, Object b) { Object r = b; if (c) { r = a; } return r; }\n";
+    pf ctx "  static Object orElse(Object a, Object b) { Object r = b; if (a != null) { r = a; } return r; }\n";
+    pf ctx "}\n\n"
+  done
+
+(* ---- factory web: the object-sensitivity context bomb ----
+
+   A single class whose [fork_k] methods allocate fresh [Web] nodes, copy
+   per-object state across, and call further forks on them. Under 2obj the
+   abstract objects are (site, allocator-site) pairs, so the web induces
+   quadratically many contexts, each re-analyzing stores/loads of [cargo] -
+   the cost profile that makes conventional object sensitivity explode on
+   real code. Context insensitivity (and Cut-Shortcut, which adds no
+   contexts) walks this code once. Type sensitivity collapses it to a single
+   context element (one class). Runtime recursion is bounded by [d]. *)
+
+let emit_fork_web ctx =
+  let s = ctx.shape in
+  let n = s.fork_sites in
+  if n > 0 then begin
+    pf ctx "class Web {\n";
+    pf ctx "  Object cargo;\n";
+    pf ctx "  Object grab() { return this.cargo; }\n";
+    pf ctx "  void put(Object c) { this.cargo = c; }\n";
+    for k = 0 to n - 1 do
+      let j1 = ((k * 7) + 1) mod n in
+      pf ctx "  Web fork%d(int d) {\n" k;
+      pf ctx "    Web n = new Web();\n";
+      pf ctx "    n.put(this.grab());\n";
+      pf ctx "    if (d > 0) {\n";
+      pf ctx "      Web a = n.fork%d(d - 1);\n" j1;
+      pf ctx "      n.put(a.grab());\n";
+      pf ctx "    }\n";
+      pf ctx "    return n;\n";
+      pf ctx "  }\n"
+    done;
+    pf ctx "}\n\n";
+    (* the driver: all webs live in one ArrayList, so every fork call site
+       dispatches on every web variant - under 2obj that saturates the
+       (site, allocator-site) context product, while CI/CSC walk the code
+       once. The payload pool scales per-context work. *)
+    pf ctx "class WebMain {\n";
+    pf ctx "  static void drive() {\n";
+    pf ctx "    ArrayList webs = new ArrayList();\n";
+    pf ctx "    ArrayList pool = new ArrayList();\n";
+    for _ = 0 to (n / 2) - 1 do
+      pf ctx "    pool.add(new Object());\n"
+    done;
+    for k = 0 to n - 1 do
+      pf ctx "    Web w%d = new Web();\n" k;
+      pf ctx "    w%d.put(pool.get(%d));\n" k (k mod max 1 (n / 2));
+      pf ctx "    webs.add(w%d);\n" k
+    done;
+    for k = 0 to n - 1 do
+      pf ctx "    Web x%d = (Web) webs.get(%d);\n" k (k mod n);
+      pf ctx "    Web y%d = x%d.fork%d(1);\n" k k k;
+      pf ctx "    y%d.put(x%d.grab());\n" k k;
+      pf ctx "    webs.add(y%d);\n" k
+    done;
+    pf ctx "    System.print(webs.size());\n";
+    pf ctx "  }\n";
+    pf ctx "}\n\n"
+  end
+
+(* ---- factory mesh: the type-sensitivity context bomb ----
+
+   As above but across many classes, so type contexts (class pairs) multiply
+   as well. *)
+
+let mesh_cls i = Printf.sprintf "Mesh%d" i
+
+(* The shared [MeshCore] is allocated by each of the [mesh_classes] spawner
+   classes (so core objects carry distinct *type* context elements: the
+   allocating class). All cores live in one merged list, and every [spin_k]
+   call site dispatches on all of them: both 2obj and 2type saturate their
+   context products here, while CI/CSC stay linear. *)
+let emit_mesh ctx =
+  let s = ctx.shape in
+  let n = s.mesh_classes in
+  if n > 0 then begin
+    pf ctx "class MeshCore {\n";
+    pf ctx "  Object freight;\n";
+    pf ctx "  Object pull() { return this.freight; }\n";
+    pf ctx "  void push(Object c) { this.freight = c; }\n";
+    for k = 0 to n - 1 do
+      let j = ((k * 7) + 1) mod n in
+      pf ctx "  MeshCore spin%d(int d) {\n" k;
+      pf ctx "    MeshCore n = new MeshCore();\n";
+      pf ctx "    n.push(this.pull());\n";
+      pf ctx "    if (d > 0) {\n";
+      pf ctx "      MeshCore a = n.spin%d(d - 1);\n" j;
+      pf ctx "      n.push(a.pull());\n";
+      pf ctx "    }\n";
+      pf ctx "    return n;\n";
+      pf ctx "  }\n"
+    done;
+    pf ctx "}\n\n";
+    for i = 0 to n - 1 do
+      pf ctx "class %s {\n" (mesh_cls i);
+      pf ctx "  MeshCore spawn(Object payload) {\n";
+      pf ctx "    MeshCore core = new MeshCore();\n";
+      pf ctx "    core.push(payload);\n";
+      pf ctx "    return core;\n";
+      pf ctx "  }\n";
+      pf ctx "}\n\n"
+    done;
+    pf ctx "class MeshMain {\n";
+    pf ctx "  static void drive() {\n";
+    pf ctx "    ArrayList cores = new ArrayList();\n";
+    pf ctx "    ArrayList pool = new ArrayList();\n";
+    for _ = 0 to (n / 2) - 1 do
+      pf ctx "    pool.add(new Object());\n"
+    done;
+    for i = 0 to n - 1 do
+      pf ctx "    %s g%d = new %s();\n" (mesh_cls i) i (mesh_cls i);
+      pf ctx "    cores.add(g%d.spawn(pool.get(%d)));\n" i
+        (i mod max 1 (n / 2))
+    done;
+    for i = 0 to n - 1 do
+      pf ctx "    MeshCore c%d = (MeshCore) cores.get(%d);\n" i (i mod n);
+      pf ctx "    MeshCore k%d = c%d.spin%d(1);\n" i i i;
+      pf ctx "    k%d.push(c%d.pull());\n" i i;
+      pf ctx "    cores.add(k%d);\n" i
+    done;
+    pf ctx "    System.print(cores.size());\n";
+    pf ctx "  }\n";
+    pf ctx "}\n\n"
+  end
+
+(* ---- driver layer ---- *)
+
+(* Each driver op method exercises one scenario. They receive an int salt so
+   the interpreter runs them with slightly different data. *)
+let emit_driver_op ctx ~d ~j =
+  let s = ctx.shape in
+  let rng = ctx.rng in
+  let e1 = Rng.int rng s.n_entity and e2 = Rng.int rng s.n_entity in
+  let f1 = Rng.int rng s.n_fields in
+  let w = Rng.int rng (max 1 s.n_wrap) in
+  let h = Rng.int rng (max 1 s.n_hier) in
+  let sub1 = Rng.int rng s.hier_width and sub2 = Rng.int rng s.hier_width in
+  let r1 = Rng.int rng (max 1 s.n_registry) in
+  let u = Rng.int rng (max 1 s.n_util) in
+  let scenario = Rng.int rng 8 in
+  pf ctx "  void op%d_%d(int salt) {\n" d j;
+  (match scenario with
+  | 0 ->
+    (* setter/getter pairs on two distinct entities *)
+    pf ctx "    %s a = new %s();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    %s b = new %s();\n" (ent ctx e2) (ent ctx e2);
+    pf ctx "    a.set%d(new Object());\n" f1;
+    pf ctx "    b.set%d(\"tag%d_%d\");\n" f1 d j;
+    pf ctx "    Object ra = a.get%d();\n" f1;
+    pf ctx "    Object rb = b.get%d();\n" f1;
+    pf ctx "    if (ra == rb) { System.print(\"alias%d_%d\"); }\n" d j
+  | 1 ->
+    (* wrappers + nested constructor stores *)
+    pf ctx "    %s ent = new %s();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    %s w1 = new %s(ent);\n" (wrap_cls w) (wrap_cls w);
+    pf ctx "    %s w2 = new %s(new Object());\n" (wrap_cls w) (wrap_cls w);
+    pf ctx "    Object u1 = w1.unwrap%d();\n" w;
+    pf ctx "    Object u2 = w2.unwrap%d();\n" w;
+    pf ctx "    %s back = (%s) u1;\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    back.set%d(u2);\n" f1
+  | 2 ->
+    (* direct container usage with iterator + cast *)
+    pf ctx "    ArrayList list = new ArrayList();\n";
+    pf ctx "    int i = 0;\n";
+    pf ctx "    while (i < 2 + (salt %% 3)) {\n";
+    pf ctx "      list.add(new %s());\n" (ent ctx e1);
+    pf ctx "      i = i + 1;\n";
+    pf ctx "    }\n";
+    pf ctx "    %s first = (%s) list.get(0);\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    first.set%d(list.get(list.size() - 1));\n" f1;
+    pf ctx "    Iterator it = list.iterator();\n";
+    pf ctx "    while (it.hasNext()) {\n";
+    pf ctx "      %s cur = (%s) it.next();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "      Object got = cur.get%d();\n" f1;
+    pf ctx "      if (got != null) { System.print(\"hit%d_%d\"); }\n" d j;
+    pf ctx "    }\n"
+  | 3 ->
+    (* registries + maps + key iteration *)
+    pf ctx "    %s reg = new %s();\n" (reg_cls r1) (reg_cls r1);
+    pf ctx "    %s k1 = new %s();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    %s v1 = new %s();\n" (ent ctx e2) (ent ctx e2);
+    pf ctx "    reg.register(v1);\n";
+    pf ctx "    reg.register(new %s());\n" (ent ctx e2);
+    pf ctx "    reg.assoc(k1, v1);\n";
+    pf ctx "    %s out = (%s) reg.at(0);\n" (ent ctx e2) (ent ctx e2);
+    pf ctx "    Object hit = reg.find(k1);\n";
+    pf ctx "    Iterator keys = reg.keys();\n";
+    pf ctx "    while (keys.hasNext()) {\n";
+    pf ctx "      %s kk = (%s) keys.next();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "      kk.set%d(hit);\n" f1;
+    pf ctx "    }\n";
+    pf ctx "    out.set%d(hit);\n" (f1 mod s.n_fields)
+  | 5 ->
+    (* stacks and queues of entities *)
+    pf ctx "    Stack st = new Stack();\n";
+    pf ctx "    Queue qu = new Queue();\n";
+    pf ctx "    for (int i = 0; i < 2 + (salt %% 2); i = i + 1) {\n";
+    pf ctx "      st.push(new %s());\n" (ent ctx e1);
+    pf ctx "      qu.enqueue(new %s());\n" (ent ctx e2);
+    pf ctx "    }\n";
+    pf ctx "    %s top = (%s) st.pop();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    %s head = (%s) qu.dequeue();\n" (ent ctx e2) (ent ctx e2);
+    pf ctx "    top.set%d(head);\n" f1;
+    pf ctx "    Object back = top.get%d();\n" f1;
+    pf ctx "    if (back instanceof %s) { System.print(\"q%d_%d\"); }\n"
+      (ent ctx e2) d j
+  | 6 ->
+    (* deques + builders *)
+    pf ctx "    ArrayDeque dq = new ArrayDeque();\n";
+    pf ctx "    dq.addFirst(new %s());\n" (ent ctx e1);
+    pf ctx "    dq.addLast(new %s());\n" (ent ctx e2);
+    pf ctx "    StringBuilder sb = new StringBuilder();\n";
+    pf ctx "    sb.append(dq.peekFirst()).append(dq.peekLast());\n";
+    pf ctx "    Object first = sb.part(0);\n";
+    pf ctx "    if (first instanceof %s) {\n" (ent ctx e1);
+    pf ctx "      %s fe = (%s) first;\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "      fe.set%d(dq.removeLast());\n" f1;
+    pf ctx "    }\n"
+  | 7 ->
+    (* optionals wrapping registry lookups *)
+    pf ctx "    %s reg7 = new %s();\n" (reg_cls r1) (reg_cls r1);
+    pf ctx "    %s key7 = new %s();\n" (ent ctx e1) (ent ctx e1);
+    pf ctx "    reg7.assoc(key7, new %s());\n" (ent ctx e2);
+    pf ctx "    Optional found = Optional.of(reg7.find(key7));\n";
+    pf ctx "    Object v7 = found.orElse(new %s());\n" (ent ctx e2);
+    pf ctx "    if (v7 instanceof %s) {\n" (ent ctx e2);
+    pf ctx "      %s typed = (%s) v7;\n" (ent ctx e2) (ent ctx e2);
+    pf ctx "      typed.set%d(key7);\n" f1;
+    pf ctx "    }\n"
+  | _ ->
+    (* polymorphism + local flow utilities *)
+    pf ctx "    %s n1 = new %s();\n" (sub_cls h sub1) (sub_cls h sub1);
+    pf ctx "    %s n2 = new %s();\n" (sub_cls h sub2) (sub_cls h sub2);
+    pf ctx "    n1.prime();\n";
+    pf ctx "    n2.load(new Object());\n";
+    pf ctx "    %s pick = (%s) %s.choose(salt %% 2 == 0, n1, n2);\n" (base_cls h)
+      (base_cls h) (util_cls u);
+    pf ctx "    Object res = pick.act();\n";
+    pf ctx "    Object res2 = %s.orElse(res, new Object());\n" (util_cls u);
+    pf ctx "    ArrayList bag = new ArrayList();\n";
+    pf ctx "    bag.add(n1);\n";
+    pf ctx "    bag.add(n2);\n";
+    pf ctx "    Iterator bit = bag.iterator();\n";
+    pf ctx "    while (bit.hasNext()) {\n";
+    pf ctx "      %s node = (%s) bit.next();\n" (base_cls h) (base_cls h);
+    pf ctx "      if (node.kindId() > %d) { node.load(res2); }\n" (s.hier_width / 2);
+    pf ctx "    }\n");
+  pf ctx "  }\n"
+
+let emit_drivers ctx =
+  let s = ctx.shape in
+  for d = 0 to s.n_driver - 1 do
+    pf ctx "class %s {\n" (driver_cls d);
+    for j = 0 to s.ops_per_driver - 1 do
+      emit_driver_op ctx ~d ~j
+    done;
+    pf ctx "  void runAll%d(int salt) {\n" d;
+    for j = 0 to s.ops_per_driver - 1 do
+      pf ctx "    this.op%d_%d(salt + %d);\n" d j j
+    done;
+    pf ctx "  }\n";
+    pf ctx "}\n\n"
+  done
+
+let emit_main ctx =
+  let s = ctx.shape in
+  pf ctx "class Main {\n";
+  pf ctx "  static void main() {\n";
+  pf ctx "    int round = 0;\n";
+  pf ctx "    while (round < %d) {\n" s.loop_iters;
+  for d = 0 to s.n_driver - 1 do
+    pf ctx "      %s d%d = new %s();\n" (driver_cls d) d (driver_cls d);
+    pf ctx "      d%d.runAll%d(round);\n" d d
+  done;
+  pf ctx "      round = round + 1;\n";
+  pf ctx "    }\n";
+  if s.fork_sites > 0 then pf ctx "    WebMain.drive();\n";
+  if s.mesh_classes > 0 then pf ctx "    MeshMain.drive();\n";
+  pf ctx "    System.print(\"done\");\n";
+  pf ctx "  }\n";
+  pf ctx "}\n"
+
+(** Generate a full MiniJava program (without the mini-JDK, which the
+    frontend prepends). *)
+let generate (shape : shape) : string =
+  let ctx = { buf = Buffer.create 65536; rng = Rng.create shape.seed; shape } in
+  emit_entities ctx;
+  emit_wrappers ctx;
+  emit_hierarchies ctx;
+  emit_registries ctx;
+  emit_utils ctx;
+  emit_fork_web ctx;
+  emit_mesh ctx;
+  emit_drivers ctx;
+  emit_main ctx;
+  Buffer.contents ctx.buf

@@ -1,0 +1,33 @@
+(** Deterministic generator of executable MiniJava workloads (DESIGN.md,
+    substitution 3).
+
+    Each program mixes the shapes the paper's three patterns target —
+    setter/getter entities, nested-constructor wrappers, polymorphic
+    hierarchies, registry classes over containers, direct container use with
+    iterators/views/downcasts, local-flow utilities — plus two calibrated
+    "context bombs": a single-class factory web (blows up object-sensitive
+    contexts; type sensitivity is immune) and a multi-class mesh (blows up
+    both). Same shape + seed, byte-identical source; all loops are bounded
+    so every program terminates under the interpreter. *)
+
+type shape = {
+  seed : int;
+  n_entity : int;       (** entity classes *)
+  n_fields : int;       (** fields (and accessor pairs) per entity *)
+  n_wrap : int;         (** wrapper classes *)
+  n_hier : int;         (** polymorphic hierarchies *)
+  hier_width : int;     (** subclasses per hierarchy *)
+  n_registry : int;     (** container-owning classes *)
+  n_util : int;         (** static utility classes *)
+  n_driver : int;       (** driver classes *)
+  ops_per_driver : int; (** operation methods per driver *)
+  loop_iters : int;     (** runtime loop bound in main *)
+  fork_sites : int;     (** size of the object-sensitivity context bomb *)
+  mesh_classes : int;   (** size of the type-sensitivity context bomb *)
+}
+
+(** A small shape used by tests and micro-benchmarks. *)
+val small_shape : shape
+
+(** Generate a full MiniJava program (the frontend prepends the JDK). *)
+val generate : shape -> string

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Csc_common Csc_interp Csc_ir Csc_lang Csc_pta List Printf

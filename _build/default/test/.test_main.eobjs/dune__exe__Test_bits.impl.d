@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Bits Csc_common List QCheck2 QCheck_alcotest Rng

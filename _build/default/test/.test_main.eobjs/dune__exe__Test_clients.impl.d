@@ -1,0 +1,1 @@
+test/test_clients.ml: Alcotest Csc_clients Csc_common Csc_interp Csc_pta Fixtures Helpers List

@@ -1,0 +1,1 @@
+test/test_common_more.ml: Alcotest Csc_common Csc_interp Csc_lang Helpers Interner List QCheck2 QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_context.ml: Alcotest Csc_common Csc_ir Csc_pta Fixtures Helpers

@@ -1,0 +1,1 @@
+test/test_csc.ml: Alcotest Array Csc_common Csc_core Csc_pta Fixtures Helpers Ir List Printf

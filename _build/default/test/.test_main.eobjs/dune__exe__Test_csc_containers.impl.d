@@ -1,0 +1,1 @@
+test/test_csc_containers.ml: Alcotest Csc_common Csc_core Csc_pta Helpers Printf

@@ -1,0 +1,1 @@
+test/test_datalog_analysis.ml: Alcotest Array Csc_common Csc_core Csc_datalog Csc_pta Fixtures Helpers Ir List Printf

@@ -1,0 +1,1 @@
+test/test_datalog_more.ml: Alcotest Array Csc_clients Csc_common Csc_core Csc_datalog Csc_pta Fixtures Helpers List

@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Csc_clients Csc_common Csc_driver Csc_pta Csc_workloads Fixtures Helpers List Option

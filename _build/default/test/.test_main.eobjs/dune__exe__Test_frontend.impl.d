@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Astring Csc_ir Csc_lang Fixtures List Printexc Printf

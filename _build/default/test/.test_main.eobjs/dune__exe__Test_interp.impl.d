@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Astring Csc_common Csc_interp Csc_ir Csc_lang Fixtures List String

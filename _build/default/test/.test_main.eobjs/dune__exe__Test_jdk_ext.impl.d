@@ -1,0 +1,1 @@
+test/test_jdk_ext.ml: Alcotest Csc_common Csc_core Csc_interp Csc_pta Helpers List

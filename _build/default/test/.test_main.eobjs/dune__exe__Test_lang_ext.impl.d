@@ -1,0 +1,1 @@
+test/test_lang_ext.ml: Alcotest Array Csc_clients Csc_interp Csc_pta Helpers Ir

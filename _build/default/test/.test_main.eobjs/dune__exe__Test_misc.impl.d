@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Astring Buffer Csc_common Csc_driver Csc_interp Csc_pta Fixtures Fmt Helpers List String

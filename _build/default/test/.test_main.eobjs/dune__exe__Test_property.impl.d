@@ -1,0 +1,1 @@
+test/test_property.ml: Array Csc_common Csc_core Csc_datalog Csc_interp Csc_ir Csc_lang Csc_pta Csc_workloads List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Buffer Csc_common Csc_core Csc_interp Csc_ir Csc_pta Helpers Ir List Printf

@@ -1,0 +1,1 @@
+test/test_solver.ml: Alcotest Array Csc_common Csc_pta Fixtures Helpers Ir List Printf

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Array Csc_common Csc_core Fixtures Hashtbl Helpers Ir List Option Printf String

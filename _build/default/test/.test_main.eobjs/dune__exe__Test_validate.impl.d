@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Array Csc_ir Csc_workloads Fixtures Helpers Ir List Printf String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Csc_interp Csc_ir Csc_lang Csc_workloads List Printexc Printf

@@ -1,0 +1,207 @@
+(** Additional unit + property tests for Vec, Interner and parser
+    precedence / disambiguation corners. *)
+
+open Csc_common
+
+(* ----------------------------------------------------------------- Vec *)
+
+let test_vec_basic () =
+  let v = Vec.create 0 in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  Vec.push v 10;
+  Vec.push v 20;
+  Alcotest.(check int) "len" 2 (Vec.length v);
+  Alcotest.(check int) "get" 20 (Vec.get v 1);
+  Vec.set v 0 99;
+  Alcotest.(check int) "set" 99 (Vec.get v 0);
+  Alcotest.(check (list int)) "to_list" [ 99; 20 ] (Vec.to_list v)
+
+let test_vec_growth_and_bounds () =
+  let v = Vec.create ~capacity:1 0 in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "len" 1000 (Vec.length v);
+  Alcotest.(check int) "last" 999 (Vec.get v 999);
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Vec.get") (fun () ->
+      ignore (Vec.get v 1000));
+  Alcotest.(check int) "get_or default" 0 (Vec.get_or v 5000)
+
+let test_vec_set_grow () =
+  let v = Vec.create (-1) in
+  Vec.set_grow v 5 42;
+  Alcotest.(check int) "len grows" 6 (Vec.length v);
+  Alcotest.(check int) "filled with dummy" (-1) (Vec.get v 2);
+  Alcotest.(check int) "value" 42 (Vec.get v 5)
+
+let test_vec_pop () =
+  let v = Vec.of_list 0 [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "pop" (Some 3) (Vec.pop v);
+  Alcotest.(check int) "len" 2 (Vec.length v);
+  Vec.clear v;
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let prop_vec_model =
+  QCheck2.Test.make ~name:"vec behaves like a list" ~count:200
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun l ->
+      let v = Vec.of_list (-1) l in
+      Vec.to_list v = l
+      && Vec.length v = List.length l
+      && Vec.fold (fun acc x -> acc + x) 0 v = List.fold_left ( + ) 0 l)
+
+(* ------------------------------------------------------------- Interner *)
+
+let test_interner_roundtrip () =
+  let t = Interner.create "" in
+  let a = Interner.intern t "alpha" in
+  let b = Interner.intern t "beta" in
+  let a' = Interner.intern t "alpha" in
+  Alcotest.(check int) "stable" a a';
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Alcotest.(check string) "reverse" "beta" (Interner.get t b);
+  Alcotest.(check int) "count" 2 (Interner.count t);
+  Alcotest.(check (option int)) "find" (Some a) (Interner.find_opt t "alpha");
+  Alcotest.(check (option int)) "find missing" None (Interner.find_opt t "gamma")
+
+let prop_interner_dense =
+  QCheck2.Test.make ~name:"interner ids are dense from 0" ~count:100
+    QCheck2.Gen.(list (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)))
+    (fun names ->
+      let t = Interner.create "" in
+      List.iter (fun n -> ignore (Interner.intern t n)) names;
+      let distinct = List.sort_uniq compare names in
+      Interner.count t = List.length distinct
+      && List.for_all
+           (fun n ->
+             let i = Interner.intern t n in
+             i >= 0 && i < Interner.count t && Interner.get t i = n)
+           distinct)
+
+(* ---------------------------------------------------------------- parser *)
+
+let output src = (Csc_interp.Interp.run (Helpers.compile src)).output
+
+let test_precedence () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    System.print(2 + 3 * 4);
+    System.print((2 + 3) * 4);
+    System.print(10 - 4 - 3);       // left assoc
+    System.print(1 + 2 == 3);
+    System.print(true || false && false);  // && binds tighter
+    System.print(!(1 > 2));
+    System.print(-3 + 5);
+    System.print(7 % 3);
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "precedence"
+    [ "14"; "20"; "3"; "true"; "true"; "true"; "2"; "1" ]
+    (output src)
+
+let test_cast_vs_paren_disambiguation () =
+  let src =
+    {|
+class A { int v() { return 7; } }
+class Main {
+  static void main() {
+    Object o = new A();
+    A a = (A) o;              // cast
+    int x = (1 + 2) * 2;      // parenthesized expr
+    int y = (x) + 1;          // parens around a variable
+    System.print(a.v());
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "disambiguation" [ "7"; "6"; "7" ] (output src)
+
+let test_comments_and_strings () =
+  let src =
+    {|
+class Main {
+  // line comment with "quotes" and (T) casts
+  /* block comment
+     spanning lines */
+  static void main() {
+    System.print("semi ; colon // not a comment");
+    System.print("esc\t\"quoted\"");
+  }
+}
+|}
+  in
+  Alcotest.(check int) "two prints" 2 (List.length (output src))
+
+let test_else_if_chain () =
+  let src =
+    {|
+class Main {
+  static int classify(int n) {
+    if (n < 0) { return 0; }
+    else if (n == 0) { return 1; }
+    else if (n < 10) { return 2; }
+    else { return 3; }
+  }
+  static void main() {
+    System.print(Main.classify(-5));
+    System.print(Main.classify(0));
+    System.print(Main.classify(5));
+    System.print(Main.classify(50));
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "else-if" [ "0"; "1"; "2"; "3" ] (output src)
+
+let test_nested_calls_args () =
+  let src =
+    {|
+class Main {
+  static int add(int a, int b) { return a + b; }
+  static void main() {
+    System.print(Main.add(Main.add(1, 2), Main.add(3, Main.add(4, 5))));
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "nested args" [ "15" ] (output src)
+
+let test_error_positions () =
+  (* syntax errors carry line information *)
+  let src = "class A {\n  void m() {\n    x =;\n  }\n}" in
+  match Csc_lang.Parser.parse_program src with
+  | _ -> Alcotest.fail "expected syntax error"
+  | exception Csc_lang.Ast.Syntax_error (pos, _) ->
+    Alcotest.(check int) "line 3" 3 pos.line
+
+let suite =
+  [
+    ( "common.vec",
+      [
+        Alcotest.test_case "basic" `Quick test_vec_basic;
+        Alcotest.test_case "growth & bounds" `Quick test_vec_growth_and_bounds;
+        Alcotest.test_case "set_grow" `Quick test_vec_set_grow;
+        Alcotest.test_case "pop" `Quick test_vec_pop;
+        QCheck_alcotest.to_alcotest prop_vec_model;
+      ] );
+    ( "common.interner",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_interner_roundtrip;
+        QCheck_alcotest.to_alcotest prop_interner_dense;
+      ] );
+    ( "lang.parser",
+      [
+        Alcotest.test_case "precedence" `Quick test_precedence;
+        Alcotest.test_case "cast vs parens" `Quick test_cast_vs_paren_disambiguation;
+        Alcotest.test_case "comments & strings" `Quick test_comments_and_strings;
+        Alcotest.test_case "else-if chains" `Quick test_else_if_chain;
+        Alcotest.test_case "nested call args" `Quick test_nested_calls_args;
+        Alcotest.test_case "error positions" `Quick test_error_positions;
+      ] );
+  ]

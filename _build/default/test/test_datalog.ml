@@ -1,0 +1,167 @@
+(** Tests for the generic Datalog engine. *)
+
+module E = Csc_datalog.Engine
+open E
+
+let v x = V x
+let c x = C x
+
+let test_transitive_closure () =
+  let t = create () in
+  fact t "edge" [ 1; 2 ];
+  fact t "edge" [ 2; 3 ];
+  fact t "edge" [ 3; 4 ];
+  add_rule t (atom "path" [ v "x"; v "y" ] <-- [ atom "edge" [ v "x"; v "y" ] ]);
+  add_rule t
+    (atom "path" [ v "x"; v "z" ]
+    <-- [ atom "path" [ v "x"; v "y" ]; atom "edge" [ v "y"; v "z" ] ]);
+  solve t;
+  Alcotest.(check int) "path count" 6 (count t "path");
+  Alcotest.(check bool) "1->4" true
+    (List.exists (fun tup -> tup = [| 1; 4 |]) (tuples t "path"))
+
+let test_constants_in_rules () =
+  let t = create () in
+  fact t "n" [ 1 ];
+  fact t "n" [ 2 ];
+  add_rule t (atom "one" [ v "x" ] <-- [ atom "n" [ v "x" ]; atom "n" [ c 1 ] ]);
+  add_rule t (atom "self" [ c 7 ] <-- [ atom "n" [ c 2 ] ]);
+  solve t;
+  Alcotest.(check int) "one" 2 (count t "one");
+  Alcotest.(check bool) "self(7)" true
+    (List.exists (fun tup -> tup = [| 7 |]) (tuples t "self"))
+
+let test_join_order_independent () =
+  let t = create () in
+  for i = 0 to 30 do
+    fact t "a" [ i; i + 1 ];
+    fact t "b" [ i + 1; i + 2 ]
+  done;
+  add_rule t
+    (atom "j" [ v "x"; v "z" ]
+    <-- [ atom "a" [ v "x"; v "y" ]; atom "b" [ v "y"; v "z" ] ]);
+  solve t;
+  Alcotest.(check int) "join size" 31 (count t "j")
+
+let test_stratified_negation () =
+  let t = create () in
+  fact t "node" [ 1 ];
+  fact t "node" [ 2 ];
+  fact t "node" [ 3 ];
+  fact t "bad" [ 2 ];
+  add_rule t
+    (atom "good" [ v "x" ]
+    <-- [ atom "node" [ v "x" ]; atom ~neg:true "bad" [ v "x" ] ]);
+  solve t;
+  Alcotest.(check int) "good" 2 (count t "good")
+
+let test_negation_on_derived () =
+  (* negation on a relation fully computed in a lower stratum *)
+  let t = create () in
+  fact t "edge" [ 1; 2 ];
+  fact t "edge" [ 2; 3 ];
+  fact t "node" [ 1 ];
+  fact t "node" [ 2 ];
+  fact t "node" [ 3 ];
+  add_rule t
+    (atom "has_succ" [ v "x" ] <-- [ atom "edge" [ v "x"; v "y" ] ]);
+  add_rule t
+    (atom "sink" [ v "x" ]
+    <-- [ atom "node" [ v "x" ]; atom ~neg:true "has_succ" [ v "x" ] ]);
+  solve t;
+  Alcotest.(check int) "sinks" 1 (count t "sink");
+  Alcotest.(check bool) "3 is sink" true
+    (List.exists (fun tup -> tup = [| 3 |]) (tuples t "sink"))
+
+let test_unstratifiable_rejected () =
+  let t = create () in
+  fact t "n" [ 1 ];
+  add_rule t
+    (atom "p" [ v "x" ] <-- [ atom "n" [ v "x" ]; atom ~neg:true "q" [ v "x" ] ]);
+  add_rule t
+    (atom "q" [ v "x" ] <-- [ atom "n" [ v "x" ]; atom ~neg:true "p" [ v "x" ] ]);
+  match solve t with
+  | _ -> Alcotest.fail "expected stratification error"
+  | exception E.Error _ -> ()
+
+let test_unbound_head_var_rejected () =
+  let t = create () in
+  fact t "n" [ 1 ];
+  match add_rule t (atom "p" [ v "x"; v "y" ] <-- [ atom "n" [ v "x" ] ]) with
+  | _ -> Alcotest.fail "expected safety error"
+  | exception E.Error _ -> ()
+
+let test_mutual_recursion () =
+  (* even/odd over a successor chain *)
+  let t = create () in
+  for i = 0 to 9 do
+    fact t "succ" [ i; i + 1 ]
+  done;
+  fact t "even" [ 0 ];
+  add_rule t
+    (atom "odd" [ v "y" ] <-- [ atom "even" [ v "x" ]; atom "succ" [ v "x"; v "y" ] ]);
+  add_rule t
+    (atom "even" [ v "y" ] <-- [ atom "odd" [ v "x" ]; atom "succ" [ v "x"; v "y" ] ]);
+  solve t;
+  Alcotest.(check int) "evens" 6 (count t "even");
+  Alcotest.(check int) "odds" 5 (count t "odd")
+
+let test_large_chain_performance () =
+  (* linear-time reachability over a long chain; also exercises indices *)
+  let t = create () in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    fact t "edge" [ i; i + 1 ]
+  done;
+  fact t "reach" [ 0 ];
+  add_rule t
+    (atom "reach" [ v "y" ]
+    <-- [ atom "reach" [ v "x" ]; atom "edge" [ v "x"; v "y" ] ]);
+  solve t;
+  Alcotest.(check int) "reach" (n + 1) (count t "reach")
+
+let prop_tc_matches_model =
+  QCheck2.Test.make ~name:"datalog TC = floyd-warshall model" ~count:30
+    QCheck2.Gen.(list_size (int_range 0 40) (pair (int_bound 12) (int_bound 12)))
+    (fun edges ->
+      let t = create () in
+      ignore (relation t "edge" 2);
+      ignore (relation t "path" 2);
+      List.iter (fun (a, b) -> fact t "edge" [ a; b ]) edges;
+      add_rule t (atom "path" [ v "x"; v "y" ] <-- [ atom "edge" [ v "x"; v "y" ] ]);
+      add_rule t
+        (atom "path" [ v "x"; v "z" ]
+        <-- [ atom "edge" [ v "x"; v "y" ]; atom "path" [ v "y"; v "z" ] ]);
+      solve t;
+      (* model: boolean matrix closure *)
+      let m = Array.make_matrix 13 13 false in
+      List.iter (fun (a, b) -> m.(a).(b) <- true) edges;
+      for k = 0 to 12 do
+        for i = 0 to 12 do
+          for j = 0 to 12 do
+            if m.(i).(k) && m.(k).(j) then m.(i).(j) <- true
+          done
+        done
+      done;
+      let expected = ref 0 in
+      Array.iter (Array.iter (fun b -> if b then incr expected)) m;
+      count t "path" = !expected)
+
+let suite =
+  [
+    ( "datalog.engine",
+      [
+        Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+        Alcotest.test_case "constants" `Quick test_constants_in_rules;
+        Alcotest.test_case "join" `Quick test_join_order_independent;
+        Alcotest.test_case "stratified negation" `Quick test_stratified_negation;
+        Alcotest.test_case "negation on derived" `Quick test_negation_on_derived;
+        Alcotest.test_case "unstratifiable rejected" `Quick
+          test_unstratifiable_rejected;
+        Alcotest.test_case "unsafe rule rejected" `Quick
+          test_unbound_head_var_rejected;
+        Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        Alcotest.test_case "long chain" `Quick test_large_chain_performance;
+        QCheck_alcotest.to_alcotest prop_tc_matches_model;
+      ] );
+  ]

@@ -1,0 +1,114 @@
+(** More Datalog engine tests: builtin functors, degenerate relations,
+    join-ordering stress, and cross-engine precision relations. *)
+
+module E = Csc_datalog.Engine
+open E
+
+let v x = V x
+let c x = C x
+
+let test_builtin_functor () =
+  let t = create () in
+  add_builtin t "succ" (fun args -> args.(0) + 1);
+  fact t "n" [ 1 ];
+  fact t "n" [ 2 ];
+  add_rule t (atom "m" [ v "y" ] <-- [ atom "n" [ v "x" ]; fn "succ" [ v "x"; v "y" ] ]);
+  solve t;
+  Alcotest.(check bool) "2 derived" true
+    (List.exists (fun tup -> tup = [| 2 |]) (tuples t "m"));
+  Alcotest.(check bool) "3 derived" true
+    (List.exists (fun tup -> tup = [| 3 |]) (tuples t "m"))
+
+let test_builtin_as_filter () =
+  (* builtin output unified against an already-bound variable acts as a
+     filter *)
+  let t = create () in
+  add_builtin t "double" (fun args -> 2 * args.(0));
+  fact t "pair" [ 2; 4 ];
+  fact t "pair" [ 3; 5 ];
+  add_rule t
+    (atom "ok" [ v "x" ]
+    <-- [ atom "pair" [ v "x"; v "y" ]; fn "double" [ v "x"; v "y" ] ]);
+  solve t;
+  Alcotest.(check int) "only the doubling pair" 1 (count t "ok")
+
+let test_builtin_interning () =
+  (* the pattern used by the context-sensitive rules: an interning functor *)
+  let interner = Csc_common.Interner.create (-1, -1) in
+  let t = create () in
+  add_builtin t "mkpair" (fun args ->
+      Csc_common.Interner.intern interner (args.(0), args.(1)));
+  fact t "e" [ 1; 2 ];
+  fact t "e" [ 2; 3 ];
+  fact t "e" [ 1; 2 ];
+  add_rule t
+    (atom "p" [ v "id" ]
+    <-- [ atom "e" [ v "a"; v "b" ]; fn "mkpair" [ v "a"; v "b"; v "id" ] ]);
+  solve t;
+  Alcotest.(check int) "two interned pairs" 2 (count t "p");
+  Alcotest.(check int) "interner has 2" 2 (Csc_common.Interner.count interner)
+
+let test_zero_arity () =
+  let t = create () in
+  fact t "go" [];
+  fact t "n" [ 7 ];
+  add_rule t (atom "out" [ v "x" ] <-- [ atom "go" []; atom "n" [ v "x" ] ]);
+  solve t;
+  Alcotest.(check int) "fired" 1 (count t "out")
+
+let test_join_order_stress () =
+  (* a rule whose textual order is adversarial: the engine must reorder *)
+  let t = create () in
+  for i = 0 to 400 do
+    fact t "big" [ i; i + 1 ]
+  done;
+  fact t "tiny" [ 5 ];
+  (* textual order: big(x,y), big(y,z), big(z,w), tiny(x) *)
+  add_rule t
+    (atom "res" [ v "x"; v "w" ]
+    <-- [ atom "big" [ v "x"; v "y" ]; atom "big" [ v "y"; v "z" ];
+          atom "big" [ v "z"; v "w" ]; atom "tiny" [ v "x" ] ]);
+  let _, dt = Csc_common.Timer.time (fun () -> solve t) in
+  Alcotest.(check int) "one result" 1 (count t "res");
+  Alcotest.(check bool) "fast (reordered joins)" true (dt < 1.0)
+
+let test_same_var_twice_in_atom () =
+  let t = create () in
+  fact t "e" [ 1; 1 ];
+  fact t "e" [ 1; 2 ];
+  fact t "e" [ 3; 3 ];
+  add_rule t (atom "diag" [ v "x" ] <-- [ atom "e" [ v "x"; v "x" ] ]);
+  solve t;
+  Alcotest.(check int) "diagonal only" 2 (count t "diag")
+
+(* cross-engine relation: the Doop CSC (no load pattern) is never more
+   precise than the imperative CSC on fail-cast *)
+let test_doop_csc_at_most_imperative () =
+  List.iter
+    (fun (_, src) ->
+      let p = Helpers.compile src in
+      let imp =
+        Csc_pta.Solver.(result (analyze ~plugin_of:Csc_core.Csc.plugin p))
+      in
+      let dl = Csc_datalog.Analysis.run p Csc_datalog.Analysis.Csc_doop in
+      let mi = Csc_clients.Metrics.compute p imp in
+      let md = Csc_clients.Metrics.compute p dl in
+      if md.fail_cast < mi.fail_cast then
+        Alcotest.fail "doop-csc more precise than imperative csc?")
+    Fixtures.all
+
+let suite =
+  [
+    ( "datalog.more",
+      [
+        Alcotest.test_case "builtin functor" `Quick test_builtin_functor;
+        Alcotest.test_case "builtin as filter" `Quick test_builtin_as_filter;
+        Alcotest.test_case "builtin interning" `Quick test_builtin_interning;
+        Alcotest.test_case "zero arity" `Quick test_zero_arity;
+        Alcotest.test_case "join-order stress" `Quick test_join_order_stress;
+        Alcotest.test_case "repeated var in atom" `Quick
+          test_same_var_twice_in_atom;
+        Alcotest.test_case "doop-csc <= imperative csc" `Quick
+          test_doop_csc_at_most_imperative;
+      ] );
+  ]

@@ -1,0 +1,257 @@
+(** Tests for the concrete interpreter. *)
+
+module Ir = Csc_ir.Ir
+module Interp = Csc_interp.Interp
+
+let run src = Interp.run (Csc_lang.Frontend.compile_string src)
+
+let test_arith () =
+  let o = run Fixtures.arith in
+  Alcotest.(check (list string)) "output" [ "120"; "10" ] o.output
+
+let test_carton () =
+  let o = run Fixtures.carton in
+  (* result1/result2 should be the two distinct Item objects *)
+  match o.output with
+  | [ a; b ] ->
+    Alcotest.(check bool) "item 1" true (String.length a > 4 && String.sub a 0 4 = "Item");
+    Alcotest.(check bool) "distinct objects" true (a <> b)
+  | _ -> Alcotest.fail "expected two lines"
+
+let test_containers_semantics () =
+  let o = run Fixtures.containers in
+  (* x = l1.get(0) must be the object added to l1, same for iterators *)
+  match o.output with
+  | [ x; y; r1; r2 ] ->
+    Alcotest.(check string) "x = r1 (same object via list and iterator)" x r1;
+    Alcotest.(check string) "y = r2" y r2;
+    Alcotest.(check bool) "x <> y" true (x <> y)
+  | _ -> Alcotest.fail "expected four lines"
+
+let test_map_semantics () =
+  let o = run Fixtures.maps in
+  match o.output with
+  | [ v1; v2; kk; vv ] ->
+    Alcotest.(check bool) "v1 is the W stored in m1" true
+      (String.length v1 > 1 && String.sub v1 0 1 = "W");
+    Alcotest.(check bool) "v2 distinct" true (v1 <> v2);
+    Alcotest.(check bool) "key iterator yields a K" true
+      (String.length kk > 1 && String.sub kk 0 1 = "K");
+    Alcotest.(check bool) "value iterator yields a W" true
+      (String.length vv > 1 && String.sub vv 0 1 = "W")
+  | _ -> Alcotest.fail "expected four lines"
+
+let test_dynamic_callgraph () =
+  let p = Csc_lang.Frontend.compile_string Fixtures.carton in
+  let o = Interp.run p in
+  let reach_names =
+    Csc_common.Bits.fold
+      (fun m acc -> Ir.method_name p m :: acc)
+      o.dyn_reachable []
+  in
+  Alcotest.(check bool) "setItem reached" true
+    (List.mem "Carton.setItem" reach_names);
+  Alcotest.(check bool) "getItem reached" true
+    (List.mem "Carton.getItem" reach_names);
+  Alcotest.(check bool) "edges recorded" true (List.length o.dyn_edges >= 4)
+
+let test_virtual_dispatch () =
+  let o = run Fixtures.poly in
+  Alcotest.(check int) "three prints" 3 (List.length o.output)
+
+let test_cast_failure () =
+  let src =
+    {|
+class A { }
+class B extends A { }
+class Main {
+  static void main() {
+    A a = new A();
+    B b = (B) a;
+    System.print(b);
+  }
+}
+|}
+  in
+  match run src with
+  | _ -> Alcotest.fail "expected ClassCastException"
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check bool) "mentions cast" true
+      (Astring.String.is_infix ~affix:"Cast" msg)
+
+let test_npe () =
+  let src =
+    {|
+class A { Object f; }
+class Main {
+  static void main() {
+    A a = null;
+    Object x = a.f;
+    System.print(x);
+  }
+}
+|}
+  in
+  match run src with
+  | _ -> Alcotest.fail "expected NPE"
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check bool) "mentions NPE" true
+      (Astring.String.is_infix ~affix:"NullPointer" msg)
+
+let test_step_budget () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    int i = 0;
+    while (i < 10) {
+      i = i - 1;   // never terminates
+    }
+  }
+}
+|}
+  in
+  let p = Csc_lang.Frontend.compile_string src in
+  match Interp.run ~max_steps:10_000 p with
+  | _ -> Alcotest.fail "expected budget exhaustion"
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check bool) "budget message" true
+      (Astring.String.is_infix ~affix:"budget" msg)
+
+let test_array_bounds () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    Object[] a = new Object[2];
+    Object x = a[5];
+    System.print(x);
+  }
+}
+|}
+  in
+  match run src with
+  | _ -> Alcotest.fail "expected bounds error"
+  | exception Interp.Runtime_error msg ->
+    Alcotest.(check bool) "bounds message" true
+      (Astring.String.is_infix ~affix:"Bounds" msg)
+
+let test_field_defaults () =
+  let src =
+    {|
+class A { int n; boolean b; Object o; }
+class Main {
+  static void main() {
+    A a = new A();
+    System.print(a.n);
+    System.print(a.b);
+    System.print(a.o);
+  }
+}
+|}
+  in
+  let o = run src in
+  Alcotest.(check (list string)) "defaults" [ "0"; "false"; "null" ] o.output
+
+let test_linkedlist_order () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    LinkedList l = new LinkedList();
+    l.add("a");
+    l.add("b");
+    l.add("c");
+    System.print(l.get(0));
+    System.print(l.get(2));
+    System.print(l.size());
+    Iterator it = l.iterator();
+    while (it.hasNext()) {
+      System.print(it.next());
+    }
+  }
+}
+|}
+  in
+  let o = run src in
+  Alcotest.(check (list string)) "list semantics"
+    [ "a"; "c"; "3"; "c"; "b"; "a" ] o.output
+
+let test_hashset_dedup () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    HashSet s = new HashSet();
+    Object a = new Object();
+    s.add(a);
+    s.add(a);
+    System.print(s.size());
+    System.print(s.contains(a));
+  }
+}
+|}
+  in
+  let o = run src in
+  Alcotest.(check (list string)) "set semantics" [ "1"; "true" ] o.output
+
+let test_arraylist_growth () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    ArrayList l = new ArrayList();
+    int i = 0;
+    while (i < 100) {
+      l.add(new Object());
+      i = i + 1;
+    }
+    System.print(l.size());
+    Object last = l.get(99);
+    System.print(last != null);
+  }
+}
+|}
+  in
+  let o = run src in
+  Alcotest.(check (list string)) "growth" [ "100"; "true" ] o.output
+
+let test_hashmap_overwrite () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    HashMap m = new HashMap();
+    Object k = new Object();
+    m.put(k, "one");
+    m.put(k, "two");
+    System.print(m.get(k));
+    System.print(m.size());
+  }
+}
+|}
+  in
+  let o = run src in
+  Alcotest.(check (list string)) "overwrite" [ "two"; "1" ] o.output
+
+let suite =
+  [
+    ( "interp",
+      [
+        Alcotest.test_case "arithmetic & loops" `Quick test_arith;
+        Alcotest.test_case "carton example" `Quick test_carton;
+        Alcotest.test_case "container semantics" `Quick test_containers_semantics;
+        Alcotest.test_case "map semantics" `Quick test_map_semantics;
+        Alcotest.test_case "dynamic call graph" `Quick test_dynamic_callgraph;
+        Alcotest.test_case "virtual dispatch" `Quick test_virtual_dispatch;
+        Alcotest.test_case "cast failure raises" `Quick test_cast_failure;
+        Alcotest.test_case "null dereference raises" `Quick test_npe;
+        Alcotest.test_case "step budget" `Quick test_step_budget;
+        Alcotest.test_case "array bounds" `Quick test_array_bounds;
+        Alcotest.test_case "field defaults" `Quick test_field_defaults;
+        Alcotest.test_case "linked list order" `Quick test_linkedlist_order;
+        Alcotest.test_case "hashset dedup" `Quick test_hashset_dedup;
+        Alcotest.test_case "arraylist growth" `Quick test_arraylist_growth;
+        Alcotest.test_case "hashmap overwrite" `Quick test_hashmap_overwrite;
+      ] );
+  ]

@@ -1,0 +1,345 @@
+(** Tests for the extended mini-JDK (Stack, ArrayDeque, Queue, Optional,
+    StringBuilder, Collections): concrete semantics via the interpreter and
+    container-pattern precision via CSC. *)
+
+open Helpers
+module Csc = Csc_core.Csc
+module Solver = Csc_pta.Solver
+
+let run src = Csc_interp.Interp.run (compile src)
+
+let csc_analyze src =
+  let p = compile src in
+  (p, Solver.result (Solver.analyze ~plugin_of:Csc.plugin p))
+
+let test_stack_semantics () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    Stack s = new Stack();
+    s.push("a");
+    s.push("b");
+    System.print(s.peek());
+    System.print(s.pop());
+    System.print(s.pop());
+    System.print(s.isEmpty());
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "stack LIFO" [ "b"; "b"; "a"; "true" ]
+    (run src).output
+
+let test_deque_semantics () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    ArrayDeque d = new ArrayDeque();
+    d.addLast("b");
+    d.addFirst("a");
+    d.addLast("c");
+    System.print(d.peekFirst());
+    System.print(d.peekLast());
+    System.print(d.removeFirst());
+    System.print(d.removeLast());
+    System.print(d.removeFirst());
+    System.print(d.size());
+    d.add("x");
+    Iterator it = d.iterator();
+    while (it.hasNext()) {
+      System.print(it.next());
+    }
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "deque order"
+    [ "a"; "c"; "a"; "c"; "b"; "0"; "x" ]
+    (run src).output
+
+let test_queue_semantics () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    Queue q = new Queue();
+    q.enqueue("1");
+    q.enqueue("2");
+    q.enqueue("3");
+    System.print(q.front());
+    System.print(q.dequeue());
+    System.print(q.dequeue());
+    System.print(q.size());
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "queue FIFO" [ "1"; "1"; "2"; "1" ]
+    (run src).output
+
+let test_optional_semantics () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    Optional some = Optional.of("v");
+    Optional none = Optional.empty();
+    System.print(some.isPresent());
+    System.print(none.isPresent());
+    System.print(some.get());
+    System.print(some.orElse("d"));
+    System.print(none.orElse("d"));
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "optional"
+    [ "true"; "false"; "v"; "v"; "d" ]
+    (run src).output
+
+let test_stringbuilder_semantics () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    StringBuilder sb = new StringBuilder();
+    StringBuilder same = sb.append("a").append("b");
+    System.print(sb.length());
+    System.print(sb.part(0));
+    System.print(same == sb);
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "builder fluent" [ "2"; "a"; "true" ]
+    (run src).output
+
+let test_collections_helpers () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    ArrayList a = new ArrayList();
+    a.add("x");
+    a.add("y");
+    LinkedList b = new LinkedList();
+    Collections.copyAll(b, a);
+    System.print(b.size());
+    System.print(Collections.firstOf(b));
+    ArrayList c = new ArrayList();
+    Collections.fill(c, "z", 3);
+    System.print(c.size());
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "collections" [ "2"; "x"; "3" ] (run src).output
+
+(* --- CSC precision on the new containers --- *)
+
+let test_csc_stack_precise () =
+  let src =
+    {|
+class A { }
+class B { }
+class Main {
+  static void main() {
+    Stack s1 = new Stack();
+    s1.push(new A());
+    Stack s2 = new Stack();
+    s2.push(new B());
+    Object x = s1.pop();
+    Object y = s2.pop();
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  let p, r = csc_analyze src in
+  Alcotest.(check int) "x only from s1" 1 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "y only from s2" 1 (pt_size r (var p "Main.main" "y"))
+
+let test_csc_deque_precise () =
+  let src =
+    {|
+class A { }
+class B { }
+class Main {
+  static void main() {
+    ArrayDeque d1 = new ArrayDeque();
+    d1.addFirst(new A());
+    ArrayDeque d2 = new ArrayDeque();
+    d2.addLast(new B());
+    Object x = d1.removeFirst();
+    Object y = d2.peekLast();
+    Iterator it = d1.iterator();
+    Object z = it.next();
+    System.print(x);
+    System.print(y);
+    System.print(z);
+  }
+}
+|}
+  in
+  let p, r = csc_analyze src in
+  Alcotest.(check int) "x precise" 1 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "y precise" 1 (pt_size r (var p "Main.main" "y"));
+  Alcotest.(check int) "iterator precise" 1 (pt_size r (var p "Main.main" "z"))
+
+let test_csc_queue_precise () =
+  let src =
+    {|
+class A { }
+class B { }
+class Main {
+  static void main() {
+    Queue q1 = new Queue();
+    q1.enqueue(new A());
+    Queue q2 = new Queue();
+    q2.enqueue(new B());
+    Object x = q1.dequeue();
+    Object y = q2.front();
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  let p, r = csc_analyze src in
+  Alcotest.(check int) "x precise" 1 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "y precise" 1 (pt_size r (var p "Main.main" "y"))
+
+let test_csc_stringbuilder_precise () =
+  let src =
+    {|
+class A { }
+class B { }
+class Main {
+  static void main() {
+    StringBuilder sb1 = new StringBuilder();
+    sb1.append(new A());
+    StringBuilder sb2 = new StringBuilder();
+    sb2.append(new B());
+    Object x = sb1.part(0);
+    Object y = sb2.part(0);
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  let p, r = csc_analyze src in
+  Alcotest.(check int) "x precise" 1 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "y precise" 1 (pt_size r (var p "Main.main" "y"))
+
+let test_csc_optional_precise () =
+  let src =
+    {|
+class A { }
+class B { }
+class Main {
+  static void main() {
+    Optional o1 = Optional.of(new A());
+    Optional o2 = Optional.of(new B());
+    Object x = o1.get();
+    Object y = o2.get();
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  let p, r = csc_analyze src in
+  (* both Optionals come from the ONE allocation site inside the static
+     factory, so the heap abstraction itself merges them: neither CSC nor
+     2obj can separate values stored in the same abstract object. This is a
+     heap-abstraction limit, not a PFG one - assert the faithful result. *)
+  Alcotest.(check int) "x merged (shared factory allocation)" 2
+    (pt_size r (var p "Main.main" "x"));
+  let r2obj =
+    Solver.result (Solver.analyze ~sel:(Csc_pta.Context.kobj ~k:2 ~hk:1) p)
+  in
+  Alcotest.(check int) "2obj merges it too" 2
+    (Csc_common.Bits.cardinal (r2obj.r_pt (var p "Main.main" "x")))
+
+let test_csc_optional_distinct_sites () =
+  (* with per-site allocations the field pattern separates them *)
+  let src =
+    {|
+class A { }
+class B { }
+class Main {
+  static void main() {
+    Optional o1 = new Optional();
+    o1.set(new A());
+    Optional o2 = new Optional();
+    o2.set(new B());
+    Object x = o1.get();
+    Object y = o2.get();
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  let p, r = csc_analyze src in
+  Alcotest.(check int) "x precise" 1 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "y precise" 1 (pt_size r (var p "Main.main" "y"))
+
+let test_recall_new_containers () =
+  (* soundness of all the new specs: static must cover dynamic *)
+  List.iter
+    (fun src ->
+      let p = compile src in
+      let r = Solver.result (Solver.analyze ~plugin_of:Csc.plugin p) in
+      check_recall p r)
+    [
+      {|
+class Main {
+  static void main() {
+    Stack s = new Stack();
+    s.push(new Object());
+    System.print(s.pop());
+    ArrayDeque d = new ArrayDeque();
+    d.addFirst(new Object());
+    d.addLast(new Object());
+    System.print(d.removeLast());
+    Queue q = new Queue();
+    q.enqueue(new Object());
+    System.print(q.dequeue());
+    StringBuilder sb = new StringBuilder();
+    sb.append(new Object()).append(new Object());
+    System.print(sb.part(1));
+    System.print(Optional.of(new Object()).orElse(null));
+  }
+}
+|};
+    ]
+
+let suite =
+  [
+    ( "jdk.extensions",
+      [
+        Alcotest.test_case "stack semantics" `Quick test_stack_semantics;
+        Alcotest.test_case "deque semantics" `Quick test_deque_semantics;
+        Alcotest.test_case "queue semantics" `Quick test_queue_semantics;
+        Alcotest.test_case "optional semantics" `Quick test_optional_semantics;
+        Alcotest.test_case "stringbuilder semantics" `Quick
+          test_stringbuilder_semantics;
+        Alcotest.test_case "collections helpers" `Quick test_collections_helpers;
+        Alcotest.test_case "csc: stack precise" `Quick test_csc_stack_precise;
+        Alcotest.test_case "csc: deque precise" `Quick test_csc_deque_precise;
+        Alcotest.test_case "csc: queue precise" `Quick test_csc_queue_precise;
+        Alcotest.test_case "csc: stringbuilder precise" `Quick
+          test_csc_stringbuilder_precise;
+        Alcotest.test_case "csc: optional factory merges" `Quick
+          test_csc_optional_precise;
+        Alcotest.test_case "csc: optional distinct sites" `Quick
+          test_csc_optional_distinct_sites;
+        Alcotest.test_case "recall: new containers" `Quick
+          test_recall_new_containers;
+      ] );
+  ]

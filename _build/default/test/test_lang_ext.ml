@@ -1,0 +1,197 @@
+(** Tests for the extended language features: for loops, instanceof,
+    super calls (method + constructor). *)
+
+open Helpers
+
+let run src = Csc_interp.Interp.run (compile src)
+
+let test_for_loop () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    int sum = 0;
+    for (int i = 0; i < 5; i = i + 1) {
+      sum = sum + i;
+    }
+    System.print(sum);
+    // no-init / no-update forms
+    int j = 3;
+    for (; j > 0;) {
+      j = j - 1;
+    }
+    System.print(j);
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "for loops" [ "10"; "0" ] (run src).output
+
+let test_for_scoping () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    for (int i = 0; i < 2; i = i + 1) {
+      System.print(i);
+    }
+    for (int i = 5; i < 6; i = i + 1) {   // re-declares i: separate scope
+      System.print(i);
+    }
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "scoped i" [ "0"; "1"; "5" ] (run src).output
+
+let test_instanceof_runtime () =
+  let src =
+    {|
+class A { }
+class B extends A { }
+class Main {
+  static void main() {
+    A a = new B();
+    A a2 = new A();
+    A n = null;
+    System.print(a instanceof B);
+    System.print(a instanceof A);
+    System.print(a2 instanceof B);
+    System.print(n instanceof A);    // null: false
+    Object[] arr = new Object[1];
+    System.print(arr instanceof Object);
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "instanceof"
+    [ "true"; "true"; "false"; "false"; "true" ]
+    (run src).output
+
+let test_instanceof_in_condition () =
+  let src =
+    {|
+class Shape { int area() { return 0; } }
+class Square extends Shape { int area() { return 4; } }
+class Main {
+  static void main() {
+    ArrayList shapes = new ArrayList();
+    shapes.add(new Square());
+    shapes.add(new Shape());
+    for (int i = 0; i < shapes.size(); i = i + 1) {
+      Object s = shapes.get(i);
+      if (s instanceof Square) {
+        Square sq = (Square) s;
+        System.print(sq.area());
+      }
+    }
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "guarded cast" [ "4" ] (run src).output
+
+let test_super_method_call () =
+  let src =
+    {|
+class A {
+  Object who() { return "A"; }
+}
+class B extends A {
+  Object who() { return "B"; }
+  Object parentWho() { return super.who(); }
+}
+class Main {
+  static void main() {
+    B b = new B();
+    System.print(b.who());
+    System.print(b.parentWho());
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "super dispatch" [ "B"; "A" ] (run src).output
+
+let test_super_constructor () =
+  let src =
+    {|
+class A {
+  Object tag;
+  A(Object t) { this.tag = t; }
+}
+class B extends A {
+  B(Object t) { super(t); }
+}
+class Main {
+  static void main() {
+    B b = new B("hello");
+    System.print(b.tag);
+  }
+}
+|}
+  in
+  Alcotest.(check (list string)) "super ctor" [ "hello" ] (run src).output
+
+let test_super_static_analysis () =
+  (* super calls must be exact (Special), not re-dispatched *)
+  let src =
+    {|
+class A {
+  Object who() { return new Object(); }
+}
+class B extends A {
+  Object who() { return "B"; }
+  Object parentWho() { return super.who(); }
+}
+class Main {
+  static void main() {
+    B b = new B();
+    Object x = b.parentWho();
+    System.print(x);
+  }
+}
+|}
+  in
+  let p, r = analyze src in
+  (* A.who must be reachable even though dynamic dispatch on a B receiver
+     would pick B.who *)
+  Alcotest.(check bool) "A.who reachable via super" true (reaches p r "A.who")
+
+let test_instanceof_sites_recorded () =
+  let src =
+    {|
+class A { }
+class Main {
+  static void main() {
+    Object o = new A();
+    System.print(o instanceof A);
+  }
+}
+|}
+  in
+  let p = compile src in
+  let kinds = Array.map (fun (x : Ir.cast_site) -> x.x_kind) p.casts in
+  Alcotest.(check int) "one site" 1 (Array.length kinds);
+  Alcotest.(check bool) "instanceof kind" true (kinds.(0) = `InstanceOf);
+  (* and it is not counted by the fail-cast client *)
+  let r = Csc_pta.Solver.(result (analyze p)) in
+  let m = Csc_clients.Metrics.compute p r in
+  Alcotest.(check int) "no fail-cast" 0 m.fail_cast
+
+let suite =
+  [
+    ( "lang.extensions",
+      [
+        Alcotest.test_case "for loop" `Quick test_for_loop;
+        Alcotest.test_case "for scoping" `Quick test_for_scoping;
+        Alcotest.test_case "instanceof runtime" `Quick test_instanceof_runtime;
+        Alcotest.test_case "instanceof-guarded cast" `Quick
+          test_instanceof_in_condition;
+        Alcotest.test_case "super method call" `Quick test_super_method_call;
+        Alcotest.test_case "super constructor" `Quick test_super_constructor;
+        Alcotest.test_case "super is exact in analysis" `Quick
+          test_super_static_analysis;
+        Alcotest.test_case "instanceof sites recorded" `Quick
+          test_instanceof_sites_recorded;
+      ] );
+  ]

@@ -1,0 +1,108 @@
+(** End-to-end property tests: random small programs from the workload
+    generator, checked for (1) frontend totality, (2) interpreter
+    termination, (3) 100% recall of dynamic behaviour by CI and CSC on both
+    engines, (4) the refinement ordering CSC ⊆ CI, and (5) engine agreement
+    (imperative CI = Datalog CI). These are the repository's strongest
+    soundness guards: every random program exercises the full stack. *)
+
+module Gen = Csc_workloads.Gen
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+module Bits = Csc_common.Bits
+
+let shape_gen : Gen.shape QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 1_000_000 in
+  let* n_entity = int_range 2 6 in
+  let* n_fields = int_range 1 3 in
+  let* n_wrap = int_range 1 3 in
+  let* n_hier = int_range 1 2 in
+  let* hier_width = int_range 2 3 in
+  let* n_registry = int_range 1 3 in
+  let* n_driver = int_range 1 3 in
+  let* ops = int_range 2 5 in
+  let* fork = int_range 0 6 in
+  let* mesh = int_range 4 6 in
+  return
+    Gen.
+      {
+        seed;
+        n_entity;
+        n_fields;
+        n_wrap;
+        n_hier;
+        hier_width;
+        n_registry;
+        n_util = 1;
+        n_driver;
+        ops_per_driver = ops;
+        loop_iters = 2;
+        fork_sites = fork;
+        mesh_classes = mesh;
+      }
+
+let compile_shape shape =
+  Csc_lang.Frontend.compile_string (Gen.generate shape)
+
+let prop_compiles_and_runs =
+  QCheck2.Test.make ~name:"random programs compile and terminate" ~count:15
+    shape_gen (fun shape ->
+      let p = compile_shape shape in
+      let o = Csc_interp.Interp.run ~max_steps:20_000_000 p in
+      o.steps > 0 && o.output <> [])
+
+let prop_recall =
+  QCheck2.Test.make ~name:"CI and CSC recall all dynamic behaviour" ~count:10
+    shape_gen (fun shape ->
+      let p = compile_shape shape in
+      let dyn = Csc_interp.Interp.run ~max_steps:20_000_000 p in
+      let check (r : Solver.result) =
+        Bits.for_all (fun m -> Bits.mem r.r_reach m) dyn.dyn_reachable
+        && List.for_all (fun e -> List.mem e r.r_edges) dyn.dyn_edges
+      in
+      check (Solver.result (Solver.analyze p))
+      && check (Solver.result (Solver.analyze ~plugin_of:Csc_core.Csc.plugin p)))
+
+let prop_csc_refines_ci =
+  QCheck2.Test.make ~name:"CSC points-to sets refine CI's" ~count:10 shape_gen
+    (fun shape ->
+      let p = compile_shape shape in
+      let ci = Solver.result (Solver.analyze p) in
+      let csc = Solver.result (Solver.analyze ~plugin_of:Csc_core.Csc.plugin p) in
+      Array.for_all
+        (fun (v : Ir.var) -> Bits.subset (csc.r_pt v.v_id) (ci.r_pt v.v_id))
+        p.vars
+      && Bits.subset csc.r_reach ci.r_reach)
+
+let prop_engines_agree =
+  QCheck2.Test.make ~name:"imperative CI = Datalog CI" ~count:6 shape_gen
+    (fun shape ->
+      let p = compile_shape shape in
+      let imp = Solver.result (Solver.analyze p) in
+      let dl = Csc_datalog.Analysis.run p Csc_datalog.Analysis.Ci in
+      Bits.equal imp.r_reach dl.r_reach
+      && List.sort_uniq compare imp.r_edges = List.sort_uniq compare dl.r_edges
+      && Array.for_all
+           (fun (v : Ir.var) -> Bits.equal (imp.r_pt v.v_id) (dl.r_pt v.v_id))
+           p.vars)
+
+let prop_doop_csc_sound =
+  QCheck2.Test.make ~name:"Datalog CSC recalls dynamic behaviour" ~count:6
+    shape_gen (fun shape ->
+      let p = compile_shape shape in
+      let dyn = Csc_interp.Interp.run ~max_steps:20_000_000 p in
+      let r = Csc_datalog.Analysis.run p Csc_datalog.Analysis.Csc_doop in
+      Bits.for_all (fun m -> Bits.mem r.r_reach m) dyn.dyn_reachable
+      && List.for_all (fun e -> List.mem e r.r_edges) dyn.dyn_edges)
+
+let suite =
+  [
+    ( "property",
+      [
+        QCheck_alcotest.to_alcotest ~long:true prop_compiles_and_runs;
+        QCheck_alcotest.to_alcotest ~long:true prop_recall;
+        QCheck_alcotest.to_alcotest ~long:true prop_csc_refines_ci;
+        QCheck_alcotest.to_alcotest ~long:true prop_engines_agree;
+        QCheck_alcotest.to_alcotest ~long:true prop_doop_csc_sound;
+      ] );
+  ]

@@ -1,0 +1,368 @@
+(** Robustness suite: tricky program shapes end to end (frontend →
+    interpreter → CI/CSC/2obj), checking termination, soundness and
+    precision on each. *)
+
+open Helpers
+module Solver = Csc_pta.Solver
+module Csc = Csc_core.Csc
+module Bits = Csc_common.Bits
+
+let full_check ?(expect_output = None) src =
+  let p = compile src in
+  (match Csc_ir.Validate.check p with
+  | [] -> ()
+  | errs -> Alcotest.fail ("invalid IR: " ^ List.hd errs));
+  let o = Csc_interp.Interp.run p in
+  (match expect_output with
+  | Some exp -> Alcotest.(check (list string)) "output" exp o.output
+  | None -> ());
+  let ci = Solver.result (Solver.analyze p) in
+  let csc = Solver.result (Solver.analyze ~plugin_of:Csc.plugin p) in
+  let tobj =
+    Solver.result (Solver.analyze ~sel:(Csc_pta.Context.kobj ~k:2 ~hk:1) p)
+  in
+  List.iter (fun r -> check_recall p r) [ ci; csc; tobj ];
+  Array.iter
+    (fun (v : Ir.var) ->
+      if not (Bits.subset (csc.r_pt v.v_id) (ci.r_pt v.v_id)) then
+        Alcotest.fail ("CSC not a refinement at " ^ v.v_name))
+    p.vars;
+  (p, ci, csc)
+
+let test_direct_recursion () =
+  let src =
+    {|
+class Tree {
+  Tree left;
+  Tree right;
+  Object tag;
+  int depth() {
+    int l = 0;
+    int r = 0;
+    if (this.left != null) { l = this.left.depth(); }
+    if (this.right != null) { r = this.right.depth(); }
+    int best = l;
+    if (r > l) { best = r; }
+    return best + 1;
+  }
+}
+class Main {
+  static void main() {
+    Tree root = new Tree();
+    root.left = new Tree();
+    root.left.right = new Tree();
+    System.print(root.depth());
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "3" ]) src)
+
+let test_mutual_recursion () =
+  let src =
+    {|
+class M {
+  static boolean isEven(int n) {
+    if (n == 0) { return true; }
+    return M.isOdd(n - 1);
+  }
+  static boolean isOdd(int n) {
+    if (n == 0) { return false; }
+    return M.isEven(n - 1);
+  }
+  static void main() {
+    System.print(M.isEven(10));
+    System.print(M.isOdd(7));
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "true"; "true" ]) src)
+
+let test_cyclic_heap () =
+  (* a cyclic linked structure must not diverge anywhere *)
+  let src =
+    {|
+class Node {
+  Node next;
+  Object payload;
+}
+class Main {
+  static void main() {
+    Node a = new Node();
+    Node b = new Node();
+    a.next = b;
+    b.next = a;          // cycle
+    a.payload = new Object();
+    Node cur = a;
+    for (int i = 0; i < 6; i = i + 1) {
+      cur = cur.next;
+    }
+    System.print(cur == a);
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "true" ]) src)
+
+let test_recursive_wrapper_pattern () =
+  (* the load pattern on a recursive getter chain *)
+  let src =
+    {|
+class Chain {
+  Chain inner;
+  Object v;
+  Object deepGet(int d) {
+    if (d > 0) {
+      return this.inner.deepGet(d - 1);
+    }
+    return this.v;
+  }
+}
+class Main {
+  static void main() {
+    Chain c2 = new Chain();
+    c2.v = "bottom";
+    Chain c1 = new Chain();
+    c1.inner = c2;
+    System.print(c1.deepGet(1));
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "bottom" ]) src)
+
+let test_deep_inheritance () =
+  let depth = 12 in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "class L0 { int level() { return 0; } }\n";
+  for i = 1 to depth do
+    Buffer.add_string buf
+      (Printf.sprintf "class L%d extends L%d { int level() { return %d; } }\n" i
+         (i - 1) i)
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|
+class Main {
+  static void main() {
+    L0 x = new L%d();
+    System.print(x.level());
+  }
+}
+|}
+       depth);
+  ignore (full_check ~expect_output:(Some [ string_of_int depth ]) (Buffer.contents buf))
+
+let test_shadowing_scopes () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    int x = 1;
+    if (true) {
+      int y = 10;
+      x = x + y;
+    }
+    while (x < 20) {
+      int y = 2;      // same name, sibling scope: fine
+      x = x + y;
+    }
+    System.print(x);
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "21" ]) src)
+
+let test_array_of_arrays () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    Object[][] grid = new Object[2][];
+    grid[0] = new Object[2];
+    grid[1] = new Object[3];
+    Object[] row = grid[1];
+    row[2] = "corner";
+    Object[] again = grid[1];
+    System.print(again[2]);
+    System.print(grid.length);
+    System.print(row.length);
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "corner"; "2"; "3" ]) src)
+
+let test_interleaved_containers () =
+  (* containers stored in containers, iterated, with casts *)
+  let src =
+    {|
+class Main {
+  static void main() {
+    ArrayList outer = new ArrayList();
+    ArrayList in1 = new ArrayList();
+    in1.add("a");
+    ArrayList in2 = new ArrayList();
+    in2.add("b");
+    outer.add(in1);
+    outer.add(in2);
+    Iterator it = outer.iterator();
+    while (it.hasNext()) {
+      ArrayList inner = (ArrayList) it.next();
+      System.print(inner.get(0));
+    }
+  }
+}
+|}
+  in
+  let _, _, csc = full_check ~expect_output:(Some [ "a"; "b" ]) src in
+  ignore csc
+
+let test_this_escape () =
+  (* an object registers *itself* in a container from its constructor *)
+  let src =
+    {|
+class Registry2 {
+  static ArrayList all;
+}
+class Agent {
+  Object name;
+  Agent(Object n) {
+    this.name = n;
+    Registry2.all.add(this);
+  }
+}
+class Main {
+  static void main() {
+    Registry2.all = new ArrayList();
+    Agent a = new Agent("a1");
+    Agent b = new Agent("a2");
+    Agent first = (Agent) Registry2.all.get(0);
+    System.print(first.name);
+    System.print(Registry2.all.size());
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "a1"; "2" ]) src)
+
+let test_polymorphic_array () =
+  let src =
+    {|
+class Shape { int sides() { return 0; } }
+class Tri extends Shape { int sides() { return 3; } }
+class Quad extends Shape { int sides() { return 4; } }
+class Main {
+  static void main() {
+    Shape[] shapes = new Shape[2];
+    shapes[0] = new Tri();
+    shapes[1] = new Quad();
+    int total = 0;
+    for (int i = 0; i < shapes.length; i = i + 1) {
+      total = total + shapes[i].sides();
+    }
+    System.print(total);
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "7" ]) src)
+
+let test_long_copy_chain_local_flow () =
+  (* long local copy chains still detected by Param2VarRec *)
+  let src =
+    {|
+class U {
+  static Object relay(Object p) {
+    Object a = p;
+    Object b = a;
+    Object c = b;
+    Object d = c;
+    Object e = d;
+    return e;
+  }
+}
+class Main {
+  static void main() {
+    Object o1 = new Object();
+    Object o2 = new Object();
+    Object x = U.relay(o1);
+    Object y = U.relay(o2);
+    System.print(x == o1);
+    System.print(y == o2);
+  }
+}
+|}
+  in
+  let p, _, csc = full_check ~expect_output:(Some [ "true"; "true" ]) src in
+  Alcotest.(check int) "x precise through the chain" 1
+    (pt_size csc (var p "Main.main" "x"))
+
+let test_string_identity () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    String s1 = "hello";
+    String s2 = "hello";   // distinct allocation sites, distinct objects
+    System.print(s1 == s2);
+    System.print(s1 == s1);
+  }
+}
+|}
+  in
+  ignore (full_check ~expect_output:(Some [ "false"; "true" ]) src)
+
+let test_interface_style_dispatch () =
+  (* Collection-typed variables dispatching across implementations *)
+  let src =
+    {|
+class Main {
+  static void main() {
+    Collection c1 = new ArrayList();
+    Collection c2 = new LinkedList();
+    c1.add("x");
+    c2.add("y");
+    System.print(c1.size());
+    System.print(c2.size());
+    Object x = c1.get(0);
+    Object y = c2.get(0);
+    System.print(x);
+    System.print(y);
+  }
+}
+|}
+  in
+  let p, _, csc = full_check ~expect_output:(Some [ "1"; "1"; "x"; "y" ]) src in
+  (* the two collections' contents must not be conflated by CSC, even when
+     accessed through base-typed (interface-style) variables *)
+  Alcotest.(check int) "x precise" 1 (pt_size csc (var p "Main.main" "x"));
+  Alcotest.(check bool) "contents separated" false
+    (Bits.inter_nonempty
+       (csc.r_pt (var p "Main.main" "x"))
+       (csc.r_pt (var p "Main.main" "y")))
+
+let suite =
+  [
+    ( "robustness",
+      [
+        Alcotest.test_case "direct recursion" `Quick test_direct_recursion;
+        Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+        Alcotest.test_case "cyclic heap" `Quick test_cyclic_heap;
+        Alcotest.test_case "recursive getter chain" `Quick
+          test_recursive_wrapper_pattern;
+        Alcotest.test_case "deep inheritance" `Quick test_deep_inheritance;
+        Alcotest.test_case "shadowing scopes" `Quick test_shadowing_scopes;
+        Alcotest.test_case "array of arrays" `Quick test_array_of_arrays;
+        Alcotest.test_case "containers of containers" `Quick
+          test_interleaved_containers;
+        Alcotest.test_case "this-escape via ctor" `Quick test_this_escape;
+        Alcotest.test_case "polymorphic array" `Quick test_polymorphic_array;
+        Alcotest.test_case "long copy chain" `Quick test_long_copy_chain_local_flow;
+        Alcotest.test_case "string identity" `Quick test_string_identity;
+        Alcotest.test_case "interface-style dispatch" `Quick
+          test_interface_style_dispatch;
+      ] );
+  ]

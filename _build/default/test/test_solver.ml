@@ -1,0 +1,269 @@
+(** Tests for the imperative pointer-analysis engine: context-insensitive
+    baseline, context-sensitive selectors, call-graph construction, and
+    soundness against the concrete interpreter. *)
+
+open Helpers
+module Context = Csc_pta.Context
+module Bits = Csc_common.Bits
+
+let sel_2obj = Context.kobj ~k:2 ~hk:1
+let sel_2type = Context.ktype ~k:2 ~hk:1
+let sel_2call = Context.kcall ~k:2 ~hk:1
+
+(* --- carton (Figure 1): CI merges, 2obj separates ------------------- *)
+
+let test_ci_carton_imprecise () =
+  let p, r = analyze Fixtures.carton in
+  Alcotest.(check int) "result1 has both items" 2
+    (pt_size r (var p "Main.main" "result1"));
+  Alcotest.(check int) "result2 has both items" 2
+    (pt_size r (var p "Main.main" "result2"))
+
+let test_2obj_carton_precise () =
+  let p, r = analyze ~sel:sel_2obj Fixtures.carton in
+  Alcotest.(check int) "result1 precise" 1 (pt_size r (var p "Main.main" "result1"));
+  Alcotest.(check int) "result2 precise" 1 (pt_size r (var p "Main.main" "result2"));
+  Alcotest.(check bool) "distinct" true
+    (not
+       (Bits.equal
+          (r.r_pt (var p "Main.main" "result1"))
+          (r.r_pt (var p "Main.main" "result2"))))
+
+let test_2type_carton () =
+  (* both Cartons are allocated in the same class, so 2type cannot separate
+     them here - it behaves like CI on this example *)
+  let p, r = analyze ~sel:sel_2type Fixtures.carton in
+  Alcotest.(check int) "result1 merged under 2type" 2
+    (pt_size r (var p "Main.main" "result1"))
+
+(* --- nested constructors (Figure 3) --------------------------------- *)
+
+let test_2obj_nested_precise () =
+  let p, r = analyze ~sel:sel_2obj Fixtures.nested in
+  Alcotest.(check int) "r1 precise" 1 (pt_size r (var p "Main.main" "r1"));
+  Alcotest.(check int) "r2 precise" 1 (pt_size r (var p "Main.main" "r2"))
+
+let test_ci_nested_imprecise () =
+  let p, r = analyze Fixtures.nested in
+  Alcotest.(check int) "r1 merged" 2 (pt_size r (var p "Main.main" "r1"))
+
+(* --- containers (Figure 4) ------------------------------------------ *)
+
+let test_ci_containers_imprecise () =
+  let p, r = analyze Fixtures.containers in
+  Alcotest.(check int) "x merged" 2 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "iterator result merged" 2
+    (pt_size r (var p "Main.main" "r1"))
+
+let test_2obj_containers_precise () =
+  let p, r = analyze ~sel:sel_2obj Fixtures.containers in
+  Alcotest.(check int) "x precise" 1 (pt_size r (var p "Main.main" "x"));
+  Alcotest.(check int) "y precise" 1 (pt_size r (var p "Main.main" "y"));
+  Alcotest.(check int) "r1 precise" 1 (pt_size r (var p "Main.main" "r1"));
+  Alcotest.(check int) "r2 precise" 1 (pt_size r (var p "Main.main" "r2"))
+
+(* --- local flow (Figure 5) ------------------------------------------- *)
+
+let test_ci_localflow_imprecise () =
+  let p, r = analyze Fixtures.localflow in
+  Alcotest.(check int) "r1 merged" 4 (pt_size r (var p "C.main" "r1"))
+
+let test_2obj_localflow_still_imprecise () =
+  (* static methods get no receiver contexts: 2obj cannot help here *)
+  let p, r = analyze ~sel:sel_2obj Fixtures.localflow in
+  Alcotest.(check int) "r1 merged even under 2obj" 4
+    (pt_size r (var p "C.main" "r1"))
+
+let test_2call_localflow_precise () =
+  let p, r = analyze ~sel:sel_2call Fixtures.localflow in
+  Alcotest.(check int) "r1 has its two args" 2 (pt_size r (var p "C.main" "r1"));
+  Alcotest.(check int) "r2 has its two args" 2 (pt_size r (var p "C.main" "r2"))
+
+(* --- call graph ------------------------------------------------------ *)
+
+let test_callgraph_virtual_dispatch () =
+  let p, r = analyze Fixtures.poly in
+  Alcotest.(check bool) "Dog.speak reachable" true (reaches p r "Dog.speak");
+  Alcotest.(check bool) "Cat.speak reachable" true (reaches p r "Cat.speak");
+  Alcotest.(check bool) "Animal.speak NOT reachable" false
+    (reaches p r "Animal.speak")
+
+let test_callgraph_poly_site () =
+  let p, r = analyze Fixtures.poly in
+  (* the `a.speak()` site must have two callees *)
+  let speak_edges =
+    List.filter
+      (fun (_, callee) ->
+        let n = Ir.method_name p callee in
+        n = "Dog.speak" || n = "Cat.speak")
+      r.r_edges
+  in
+  let sites = List.sort_uniq compare (List.map fst speak_edges) in
+  Alcotest.(check int) "one speak() call site" 1 (List.length sites);
+  Alcotest.(check int) "two targets" 2 (List.length speak_edges)
+
+let test_unreachable_code_not_analyzed () =
+  let src =
+    {|
+class Dead { void never() { Object x = new Object(); System.print(x); } }
+class Main { static void main() { Object o = new Object(); System.print(o); } }
+|}
+  in
+  let p, r = analyze src in
+  Alcotest.(check bool) "Dead.never not reachable" false (reaches p r "Dead.never")
+
+(* --- cast filtering --------------------------------------------------- *)
+
+let test_cast_filters () =
+  let src =
+    {|
+class A { }
+class B extends A { }
+class C extends A { }
+class Main {
+  static void main() {
+    A a = new B();
+    if (true) {
+      a = new C();
+    }
+    B b = (B) a;
+    System.print(b);
+  }
+}
+|}
+  in
+  let p, r = analyze src in
+  (* the cast must filter the C object out of b *)
+  Alcotest.(check int) "b only gets B" 1 (pt_size r (var p "Main.main" "b"))
+
+(* --- static fields ----------------------------------------------------- *)
+
+let test_static_fields () =
+  let src =
+    {|
+class G {
+  static Object cache;
+}
+class Main {
+  static void main() {
+    G.cache = new Object();
+    Object x = G.cache;
+    System.print(x);
+  }
+}
+|}
+  in
+  let p, r = analyze src in
+  Alcotest.(check int) "x via static field" 1 (pt_size r (var p "Main.main" "x"))
+
+(* --- arrays ------------------------------------------------------------ *)
+
+let test_array_flow () =
+  let src =
+    {|
+class Main {
+  static void main() {
+    Object[] a = new Object[2];
+    Object o1 = new Object();
+    a[0] = o1;
+    Object x = a[1];
+    System.print(x);
+  }
+}
+|}
+  in
+  let p, r = analyze src in
+  (* indices are smashed: x sees o1 *)
+  Alcotest.(check int) "array smashing" 1 (pt_size r (var p "Main.main" "x"))
+
+(* --- soundness against the interpreter -------------------------------- *)
+
+let test_recall_all_fixtures_ci () =
+  List.iter
+    (fun (_, src) ->
+      let p, r = analyze src in
+      check_recall p r)
+    Fixtures.all
+
+let test_recall_all_fixtures_2obj () =
+  List.iter
+    (fun (_, src) ->
+      let p, r = analyze ~sel:sel_2obj src in
+      check_recall p r)
+    Fixtures.all
+
+let test_recall_all_fixtures_2call () =
+  List.iter
+    (fun (_, src) ->
+      let p, r = analyze ~sel:sel_2call src in
+      check_recall p r)
+    Fixtures.all
+
+(* --- precision ordering: cs results must be subsets of ci -------------- *)
+
+let test_cs_refines_ci () =
+  List.iter
+    (fun (_, src) ->
+      let p = compile src in
+      let ci = Csc_pta.Solver.(result (analyze p)) in
+      let cs = Csc_pta.Solver.(result (analyze ~sel:sel_2obj p)) in
+      (* every var's cs points-to set is a subset of its ci set *)
+      Array.iter
+        (fun (v : Ir.var) ->
+          if not (Bits.subset (cs.r_pt v.v_id) (ci.r_pt v.v_id)) then
+            Alcotest.fail
+              (Printf.sprintf "2obj larger than CI for %s" v.v_name))
+        p.vars;
+      (* and the cs call graph is a subgraph *)
+      List.iter
+        (fun e ->
+          if not (List.mem e ci.r_edges) then Alcotest.fail "extra cs call edge")
+        cs.r_edges)
+    Fixtures.all
+
+(* --- timeout ----------------------------------------------------------- *)
+
+let test_budget_timeout () =
+  let p = compile Fixtures.containers in
+  let budget = Csc_common.Timer.budget_of_seconds (-1.0) in
+  match Csc_pta.Solver.analyze ~budget p with
+  | _ -> Alcotest.fail "expected timeout"
+  | exception Csc_pta.Solver.Timeout -> ()
+
+let suite =
+  [
+    ( "pta.ci",
+      [
+        Alcotest.test_case "carton imprecise" `Quick test_ci_carton_imprecise;
+        Alcotest.test_case "nested imprecise" `Quick test_ci_nested_imprecise;
+        Alcotest.test_case "containers imprecise" `Quick test_ci_containers_imprecise;
+        Alcotest.test_case "localflow imprecise" `Quick test_ci_localflow_imprecise;
+        Alcotest.test_case "virtual dispatch" `Quick test_callgraph_virtual_dispatch;
+        Alcotest.test_case "poly call site" `Quick test_callgraph_poly_site;
+        Alcotest.test_case "unreachable code skipped" `Quick
+          test_unreachable_code_not_analyzed;
+        Alcotest.test_case "casts filter" `Quick test_cast_filters;
+        Alcotest.test_case "static fields" `Quick test_static_fields;
+        Alcotest.test_case "array smashing" `Quick test_array_flow;
+        Alcotest.test_case "budget timeout" `Quick test_budget_timeout;
+      ] );
+    ( "pta.cs",
+      [
+        Alcotest.test_case "2obj carton precise" `Quick test_2obj_carton_precise;
+        Alcotest.test_case "2type carton merged" `Quick test_2type_carton;
+        Alcotest.test_case "2obj nested precise" `Quick test_2obj_nested_precise;
+        Alcotest.test_case "2obj containers precise" `Quick
+          test_2obj_containers_precise;
+        Alcotest.test_case "2obj localflow merged" `Quick
+          test_2obj_localflow_still_imprecise;
+        Alcotest.test_case "2call localflow precise" `Quick
+          test_2call_localflow_precise;
+      ] );
+    ( "pta.soundness",
+      [
+        Alcotest.test_case "recall: CI" `Quick test_recall_all_fixtures_ci;
+        Alcotest.test_case "recall: 2obj" `Quick test_recall_all_fixtures_2obj;
+        Alcotest.test_case "recall: 2call" `Quick test_recall_all_fixtures_2call;
+        Alcotest.test_case "2obj refines CI" `Quick test_cs_refines_ci;
+      ] );
+  ]

@@ -1,0 +1,247 @@
+(** Unit tests for the static ingredients of the Cut-Shortcut patterns
+    (Csc_core.Static): parameter-redefinition tests, store/load pattern
+    detection, the CHA load closure, and local-flow sources. *)
+
+open Helpers
+module Static = Csc_core.Static
+module Bits = Csc_common.Bits
+
+let meth = find_method
+
+let test_param_index () =
+  let p = compile Fixtures.carton in
+  let set = meth p "Carton.setItem" in
+  (match set.m_this with
+  | Some this -> Alcotest.(check (option int)) "this is 0" (Some 0)
+                   (Static.param_index p this)
+  | None -> Alcotest.fail "no this");
+  Alcotest.(check (option int)) "param is 1" (Some 1)
+    (Static.param_index p set.m_params.(0))
+
+let test_param_index_redefined () =
+  let src =
+    {|
+class A {
+  void m(Object x) {
+    x = new Object();   // redefined: Arg2Var must not apply
+    System.print(x);
+  }
+}
+class Main { static void main() { A a = new A(); a.m(new Object()); } }
+|}
+  in
+  let p = compile src in
+  let m = meth p "A.m" in
+  Alcotest.(check (option int)) "redefined param excluded" None
+    (Static.param_index p m.m_params.(0))
+
+let test_store_patterns () =
+  let p = compile Fixtures.carton in
+  let pats = Static.store_patterns p (meth p "Carton.setItem") in
+  Alcotest.(check int) "one pattern" 1 (List.length pats);
+  let k1, _, k2 = List.hd pats in
+  Alcotest.(check int) "base is this" 0 k1;
+  Alcotest.(check int) "rhs is param 1" 1 k2
+
+let test_store_pattern_rejects_locals () =
+  let src =
+    {|
+class A {
+  Object f;
+  void m(Object x) {
+    Object y = new Object();
+    this.f = y;          // rhs not a param: no pattern
+  }
+}
+class Main { static void main() { A a = new A(); a.m(null); } }
+|}
+  in
+  let p = compile src in
+  Alcotest.(check int) "no pattern" 0
+    (List.length (Static.store_patterns p (meth p "A.m")))
+
+let test_load_patterns () =
+  let p = compile Fixtures.carton in
+  let pats = Static.load_patterns p (meth p "Carton.getItem") in
+  Alcotest.(check int) "one load pattern" 1 (List.length pats);
+  let k, _ = List.hd pats in
+  Alcotest.(check int) "base is this" 0 k
+
+let test_load_closure_nested () =
+  (* outer() returns inner(), which loads this.f: the CHA closure must cut
+     both return variables *)
+  let src =
+    {|
+class W {
+  Object f;
+  Object inner() {
+    Object r = this.f;
+    return r;
+  }
+  Object outer() {
+    Object r = this.inner();
+    return r;
+  }
+  Object unrelated() {
+    Object r = new Object();
+    return r;
+  }
+}
+class Main {
+  static void main() {
+    W w = new W();
+    System.print(w.outer());
+    System.print(w.unrelated());
+  }
+}
+|}
+  in
+  let p = compile src in
+  let li = Static.load_info p in
+  Alcotest.(check bool) "inner cut" true (Bits.mem li.li_cut (meth p "W.inner").m_id);
+  Alcotest.(check bool) "outer cut (closure)" true
+    (Bits.mem li.li_cut (meth p "W.outer").m_id);
+  Alcotest.(check bool) "unrelated not cut" false
+    (Bits.mem li.li_cut (meth p "W.unrelated").m_id)
+
+let test_load_closure_classification_guard () =
+  (* two loads of the same field into the return var from different bases:
+     classification must be disabled (edges will be relayed) *)
+  let src =
+    {|
+class W {
+  Object f;
+  Object pickF(boolean b, W other) {
+    Object r = this.f;
+    if (b) {
+      r = other.f;
+    }
+    return r;
+  }
+}
+class Main {
+  static void main() {
+    W w1 = new W();
+    W w2 = new W();
+    System.print(w1.pickF(true, w2));
+  }
+}
+|}
+  in
+  let p = compile src in
+  let li = Static.load_info p in
+  let m = meth p "W.pickF" in
+  (* still cut (patterns exist for both) but no (m, f) static classification *)
+  Alcotest.(check bool) "cut" true (Bits.mem li.li_cut m.m_id);
+  let fld = (List.hd (Static.load_patterns p m) : int * int) |> snd in
+  Alcotest.(check bool) "classification disabled" false
+    (Hashtbl.mem li.li_static_ok (m.m_id, fld))
+
+let test_cha_callees_virtual () =
+  let p = compile Fixtures.poly in
+  let site =
+    (* find the a.speak() call site *)
+    let found = ref None in
+    Array.iter
+      (fun (cs : Ir.call_site) ->
+        if
+          cs.cs_kind = Ir.Virtual
+          && (Ir.metho p cs.cs_target).m_name = "speak"
+        then found := Some cs)
+      p.calls;
+    Option.get !found
+  in
+  let callees = Static.cha_callees p site in
+  Alcotest.(check int) "CHA sees all three speaks" 3 (List.length callees)
+
+let test_local_flow_sources () =
+  let p = compile Fixtures.localflow in
+  match Static.local_flow_sources p (meth p "C.select") with
+  | Some srcs ->
+    Alcotest.(check (list int)) "params 2 and 3" [ 2; 3 ] (List.sort compare srcs)
+  | None -> Alcotest.fail "select should be a local-flow method"
+
+let test_local_flow_rejects_load () =
+  let p = compile Fixtures.carton in
+  Alcotest.(check bool) "getter is not local flow" true
+    (Static.local_flow_sources p (meth p "Carton.getItem") = None)
+
+let test_local_flow_identity () =
+  let p = compile Fixtures.localflow in
+  (* Util.id in the jdk: return x directly *)
+  match Static.local_flow_sources p (meth p "Util.id") with
+  | Some [ 1 ] -> ()
+  | _ -> Alcotest.fail "Util.id should flow from param 1"
+
+let test_local_flow_with_null_default () =
+  let src =
+    {|
+class U {
+  static Object orNull(boolean b, Object a) {
+    Object r = null;
+    if (b) {
+      r = a;
+    }
+    return r;
+  }
+}
+class Main { static void main() { System.print(U.orNull(true, new Object())); } }
+|}
+  in
+  let p = compile src in
+  match Static.local_flow_sources p (meth p "U.orNull") with
+  | Some [ 2 ] -> ()  (* b is parameter 1, a is parameter 2 *)
+  | Some l ->
+    Alcotest.fail
+      (Printf.sprintf "unexpected sources [%s]"
+         (String.concat ";" (List.map string_of_int l)))
+  | None -> Alcotest.fail "null defaults should be allowed"
+
+let test_local_flow_copy_cycle () =
+  (* a cycle of copies with no parameter source is not pure *)
+  let src =
+    {|
+class U {
+  static Object weird(Object a) {
+    Object x = null;
+    Object y = null;
+    x = y;
+    y = x;
+    return x;
+  }
+}
+class Main { static void main() { System.print(U.weird(null)); } }
+|}
+  in
+  let p = compile src in
+  (* x and y only support each other: the least fixpoint never proves either
+     parameter-pure, so the pattern conservatively does not apply *)
+  match Static.local_flow_sources p (meth p "U.weird") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "copy cycle must not be proven pure"
+
+let suite =
+  [
+    ( "csc.static",
+      [
+        Alcotest.test_case "param_index" `Quick test_param_index;
+        Alcotest.test_case "param_index: redefined" `Quick
+          test_param_index_redefined;
+        Alcotest.test_case "store patterns" `Quick test_store_patterns;
+        Alcotest.test_case "store patterns reject locals" `Quick
+          test_store_pattern_rejects_locals;
+        Alcotest.test_case "load patterns" `Quick test_load_patterns;
+        Alcotest.test_case "load closure: nested" `Quick test_load_closure_nested;
+        Alcotest.test_case "load closure: ambiguity guard" `Quick
+          test_load_closure_classification_guard;
+        Alcotest.test_case "CHA callees" `Quick test_cha_callees_virtual;
+        Alcotest.test_case "local flow sources" `Quick test_local_flow_sources;
+        Alcotest.test_case "local flow rejects loads" `Quick
+          test_local_flow_rejects_load;
+        Alcotest.test_case "local flow: identity" `Quick test_local_flow_identity;
+        Alcotest.test_case "local flow: null default" `Quick
+          test_local_flow_with_null_default;
+        Alcotest.test_case "local flow: copy cycle" `Quick
+          test_local_flow_copy_cycle;
+      ] );
+  ]

@@ -1,0 +1,64 @@
+(** Tests for the IR validator: all frontend outputs must be well-formed,
+    and representative corruptions must be caught. *)
+
+open Helpers
+module V = Csc_ir.Validate
+
+let test_fixtures_valid () =
+  List.iter
+    (fun (name, src) ->
+      match V.check (compile src) with
+      | [] -> ()
+      | errs ->
+        Alcotest.fail
+          (Printf.sprintf "%s: %s" name (String.concat "; " errs)))
+    Fixtures.all
+
+let test_workloads_valid () =
+  List.iter
+    (fun name ->
+      let p = Csc_workloads.Suite.compile name in
+      match V.check p with
+      | [] -> ()
+      | errs ->
+        Alcotest.fail (Printf.sprintf "%s: %s" name (List.hd errs)))
+    [ "hsqldb"; "eclipse" ]
+
+let test_detects_foreign_var () =
+  let p = compile Fixtures.carton in
+  (* corrupt: swap a variable's owner *)
+  let victim =
+    Array.to_list p.vars
+    |> List.find (fun (v : Ir.var) -> v.v_kind = `Local || v.v_kind = `Temp)
+  in
+  let vars = Array.copy p.vars in
+  vars.(victim.v_id) <- { victim with v_method = (victim.v_method + 1) mod Array.length p.methods };
+  let corrupted = { p with vars } in
+  Alcotest.(check bool) "caught" true (V.check corrupted <> [])
+
+let test_detects_bad_main () =
+  let p = compile Fixtures.carton in
+  let setter = (find_method p "Carton.setItem").m_id in
+  let corrupted = { p with main = setter } in
+  (* setItem is neither static nor parameterless *)
+  Alcotest.(check bool) "caught" true (V.check corrupted <> [])
+
+let test_check_exn () =
+  let p = compile Fixtures.carton in
+  V.check_exn p;
+  let corrupted = { p with main = Array.length p.methods + 5 } in
+  match V.check_exn corrupted with
+  | () -> Alcotest.fail "expected failure"
+  | exception Failure _ -> ()
+
+let suite =
+  [
+    ( "ir.validate",
+      [
+        Alcotest.test_case "fixtures valid" `Quick test_fixtures_valid;
+        Alcotest.test_case "workloads valid" `Slow test_workloads_valid;
+        Alcotest.test_case "detects foreign var" `Quick test_detects_foreign_var;
+        Alcotest.test_case "detects bad main" `Quick test_detects_bad_main;
+        Alcotest.test_case "check_exn" `Quick test_check_exn;
+      ] );
+  ]

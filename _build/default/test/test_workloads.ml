@@ -1,0 +1,72 @@
+(** Tests for the workload generator and suite. *)
+
+module Suite = Csc_workloads.Suite
+module Gen = Csc_workloads.Gen
+module Ir = Csc_ir.Ir
+
+let test_deterministic () =
+  let a = Suite.source "hsqldb" and b = Suite.source "hsqldb" in
+  Alcotest.(check bool) "same source" true (a = b);
+  let c = Suite.source "findbugs" in
+  Alcotest.(check bool) "different programs differ" true (a <> c)
+
+let test_small_shape_compiles_and_runs () =
+  let src = Gen.generate Gen.small_shape in
+  let p = Csc_lang.Frontend.compile_string src in
+  let o = Csc_interp.Interp.run p in
+  Alcotest.(check bool) "program prints" true (List.length o.output > 0);
+  Alcotest.(check string) "last line is done"
+    "done"
+    (List.nth o.output (List.length o.output - 1))
+
+let test_all_programs_compile () =
+  List.iter
+    (fun name ->
+      match Suite.compile name with
+      | p ->
+        let s = Ir.stats p in
+        if s.n_methods < 100 then
+          Alcotest.fail (name ^ ": suspiciously small program")
+      | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "%s failed to compile: %s" name (Printexc.to_string e)))
+    Suite.names
+
+let test_small_programs_run () =
+  (* executing the big ones is the bench's job; test the three smallest *)
+  List.iter
+    (fun name ->
+      let p = Suite.compile name in
+      let o = Csc_interp.Interp.run p in
+      Alcotest.(check bool) (name ^ " terminates") true (o.steps > 0))
+    [ "hsqldb"; "findbugs"; "jython" ]
+
+let test_sizes_ordered () =
+  let stmts name = (Ir.stats (Suite.compile name)).n_stmts in
+  Alcotest.(check bool) "hsqldb < eclipse" true (stmts "hsqldb" < stmts "eclipse");
+  Alcotest.(check bool) "eclipse < soot" true (stmts "eclipse" < stmts "soot");
+  Alcotest.(check bool) "soot < columba approx" true
+    (stmts "soot" < stmts "columba" * 2)
+
+let test_shape_knobs () =
+  let base = Gen.small_shape in
+  let bigger = { base with Gen.n_entity = base.Gen.n_entity * 4 } in
+  let s1 = Ir.stats (Csc_lang.Frontend.compile_string (Gen.generate base)) in
+  let s2 = Ir.stats (Csc_lang.Frontend.compile_string (Gen.generate bigger)) in
+  Alcotest.(check bool) "more entities -> more classes" true
+    (s2.n_classes > s1.n_classes)
+
+let suite =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "small shape compiles+runs" `Quick
+          test_small_shape_compiles_and_runs;
+        Alcotest.test_case "all suite programs compile" `Slow
+          test_all_programs_compile;
+        Alcotest.test_case "small programs run" `Slow test_small_programs_run;
+        Alcotest.test_case "sizes ordered" `Slow test_sizes_ordered;
+        Alcotest.test_case "shape knobs" `Quick test_shape_knobs;
+      ] );
+  ]
