@@ -8,6 +8,7 @@
     - table3  : Zipper^e vs Cut-Shortcut detailed comparison
     - recall  : §5.1 soundness recall experiment
     - ablation: §5.1 per-pattern precision-impact study
+    - checks  : flow-sensitive diagnostics counts per workload, CI vs CSC
     - micro   : Bechamel micro-benchmarks of the substrates
 
     Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
@@ -306,6 +307,36 @@ let extras cfg =
       Fmt.pr "%-11s %12s %12s@." pname (get Run.Imp_ci) (get Run.Imp_csc))
     cfg.programs
 
+(* ----------------------------------------------------------------- checks *)
+
+(* Not in the paper: the csc_checks diagnostic suite, CI vs CSC — the
+   precision gain of Table 2 restated client-style as fewer false alarms
+   (fail-cast, poly-call) on every workload. dead-store is PTA-independent
+   and acts as a control column. *)
+let checks cfg =
+  Fmt.pr
+    "@.=== Extension: flow-sensitive checker diagnostics (CI vs CSC) ===@.";
+  Fmt.pr "%-11s %-9s %10s %10s %10s %10s %10s@." "program" "analysis" "total"
+    "null-deref" "fail-cast" "poly-call" "dead-store";
+  List.iter
+    (fun pname ->
+      let p = program pname in
+      List.iter
+        (fun a ->
+          match (outcome cfg pname a).Run.o_result with
+          | None -> Fmt.pr "%-11s %-9s (timeout)@." pname (Run.name a)
+          | Some r ->
+            let ds = Csc_checks.Checks.run_all p r in
+            let count c =
+              List.assoc c (Csc_checks.Checks.count_by_check ds)
+            in
+            Fmt.pr "%-11s %-9s %10d %10d %10d %10d %10d@." pname (Run.name a)
+              (List.length ds) (count "null-deref") (count "fail-cast")
+              (count "poly-call") (count "dead-store"))
+        [ Run.Imp_ci; Run.Imp_csc ];
+      Fmt.pr "@.")
+    cfg.programs
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -412,14 +443,14 @@ let () =
     |> List.filter (fun a ->
            List.mem a
              [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation";
-               "kstudy"; "extras"; "micro"; "all" ])
+               "kstudy"; "extras"; "checks"; "micro"; "all" ])
   in
   let experiments =
     if experiments = [] || List.mem "all" experiments then
       (* cheap (imperative) experiments first so interrupted runs still
          cover every experiment; the Datalog grid (table1/fig12) comes last *)
-      [ "table2"; "recall"; "ablation"; "kstudy"; "extras"; "micro"; "table3";
-        "table1"; "fig12" ]
+      [ "table2"; "recall"; "ablation"; "kstudy"; "extras"; "checks"; "micro";
+        "table3"; "table1"; "fig12" ]
     else experiments
   in
   Fmt.pr "cutshortcut bench: programs=[%s] budget=%.0fs doop-budget=%.0fs@."
@@ -436,6 +467,7 @@ let () =
       | "ablation" -> ablation cfg
       | "kstudy" -> kstudy cfg
       | "extras" -> extras cfg
+      | "checks" -> checks cfg
       | "micro" -> micro ()
       | _ -> ())
     experiments

@@ -6,6 +6,7 @@
     - [run]       : execute a program with the concrete interpreter
     - [dump-ir]   : print the lowered IR
     - [analyze]   : run one or more pointer analyses, print time + metrics
+    - [check]     : run the flow-sensitive checkers backed by an analysis
     - [recall]    : the §5.1 recall experiment for one program *)
 
 module Ir = Csc_ir.Ir
@@ -84,6 +85,10 @@ let budget_arg =
 
 let budget_opt b = if b <= 0. then None else Some b
 
+let validate_arg =
+  let doc = "Validate the lowered IR before analyzing (fail fast on malformed IR)." in
+  Arg.(value & flag & info [ "validate" ] ~doc)
+
 let list_cmd =
   let run () =
     Fmt.pr "%-12s %8s %8s %8s %8s %8s@." "program" "classes" "methods" "stmts"
@@ -136,7 +141,7 @@ let analyze_cmd =
     in
     Arg.(value & opt_all string [ "ci"; "csc" ] & info [ "analysis"; "a" ] ~doc)
   in
-  let run spec analyses budget =
+  let run spec analyses budget validate =
     let p = load_program spec in
     let s = Ir.stats p in
     Fmt.pr "program: %s (%a)@." spec Ir.pp_stats s;
@@ -145,12 +150,66 @@ let analyze_cmd =
     in
     List.iter
       (fun a ->
-        print_outcome (Run.run ?budget_s:(budget_opt budget) p (analysis_of_string a)))
+        print_outcome
+          (Run.run ?budget_s:(budget_opt budget) ~validate p
+             (analysis_of_string a)))
       analyses
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
-    Term.(const run $ program_arg $ analyses $ budget_arg)
+    Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg)
+
+let check_cmd =
+  let analysis =
+    let doc =
+      "Analysis backing the checkers (precision = fewer false alarms)."
+    in
+    Arg.(value & opt string "csc" & info [ "analysis"; "a" ] ~doc)
+  in
+  let checks =
+    let doc =
+      Printf.sprintf "Checkers to run (repeatable). One of: %s. Default: all."
+        (String.concat ", " Csc_checks.Checks.names)
+    in
+    Arg.(value & opt_all string [] & info [ "check"; "c" ] ~doc)
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let include_jdk =
+    Arg.(value & flag
+         & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
+  in
+  let run spec analysis checks json include_jdk budget validate =
+    let p = load_program spec in
+    let o =
+      Run.run ?budget_s:(budget_opt budget) ~validate p
+        (analysis_of_string analysis)
+    in
+    match o.Run.o_result with
+    | None -> Fmt.epr "analysis %s timed out after %.1fs@." analysis o.Run.o_time
+    | Some r ->
+      let checks = if checks = [] then None else Some checks in
+      let ds = Csc_checks.Checks.run_all ?checks ~include_jdk p r in
+      if json then print_string (Csc_checks.Diagnostic.render_json p ds)
+      else begin
+        List.iter
+          (fun d -> Fmt.pr "%a@." (Csc_checks.Diagnostic.pp_text p) d)
+          ds;
+        Fmt.pr "%d diagnostic(s) under %s:" (List.length ds) o.Run.o_analysis;
+        List.iter
+          (fun (c, n) -> Fmt.pr " %s=%d" c n)
+          (Csc_checks.Checks.count_by_check ds);
+        Fmt.pr "@."
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the flow-sensitive checkers (null-deref, fail-cast, poly-call, \
+          dead-store) backed by a pointer analysis")
+    Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
+          $ budget_arg $ validate_arg)
 
 let callgraph_cmd =
   let analysis =
@@ -210,7 +269,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "cutshortcut" ~version:"1.0.0"
        ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
-    [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; recall_cmd;
-      callgraph_cmd; pts_cmd ]
+    [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; check_cmd;
+      recall_cmd; callgraph_cmd; pts_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,6 +1,8 @@
 (** Devirtualizer: use call-graph precision to find virtual call sites that
     can be devirtualized (a single possible target) — the paper's #poly-call
-    client, framed as the program-optimization use case.
+    client, framed as the program-optimization use case. Built on the
+    {!Csc_checks.Devirt} pass: [sites] lists the devirtualization
+    opportunities, [check] emits the poly-call diagnostics.
 
     The example also shows, honestly, where each approach earns its keep:
     - direct container access: Cut-Shortcut recovers per-container precision
@@ -14,6 +16,8 @@
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 module Context = Csc_pta.Context
+module Devirt = Csc_checks.Devirt
+module Diagnostic = Csc_checks.Diagnostic
 
 let source =
   {|
@@ -71,25 +75,23 @@ class Main {
 |}
 
 let describe name (p : Ir.program) (r : Solver.result) =
-  let by_site = Hashtbl.create 16 in
-  List.iter
-    (fun (site, callee) ->
-      Hashtbl.replace by_site site
-        (callee :: Option.value ~default:[] (Hashtbl.find_opt by_site site)))
-    r.r_edges;
   Fmt.pr "%-6s:@." name;
-  let sites = ref [] in
-  Hashtbl.iter
-    (fun site callees ->
-      let cs = Ir.call p site in
-      if (Ir.metho p cs.cs_target).m_name = "render" then
-        sites := (cs.cs_line, List.length callees) :: !sites)
-    by_site;
+  (* the library pass: every reachable virtual site with its target count *)
   List.iter
-    (fun (line, n) ->
-      Fmt.pr "  render() at line %2d: %d target(s)%s@." line n
-        (if n = 1 then "  -> devirtualize" else ""))
-    (List.sort compare !sites)
+    (fun (si : Devirt.site_info) ->
+      let cs = Ir.call p si.si_site in
+      if (Ir.metho p cs.cs_target).m_name = "render" then
+        Fmt.pr "  render() at line %2d: %d target(s)%s@." cs.cs_line
+          (List.length si.si_targets)
+          (if List.length si.si_targets = 1 then "  -> devirtualize" else ""))
+    (List.sort
+       (fun (a : Devirt.site_info) b ->
+         compare (Ir.call p a.si_site).cs_line (Ir.call p b.si_site).cs_line)
+       (Devirt.sites p r));
+  (* and the missed opportunities, as diagnostics *)
+  List.iter
+    (fun d -> Fmt.pr "  %a@." (Diagnostic.pp_text p) d)
+    (Devirt.check p r)
 
 let () =
   let p = Csc_lang.Frontend.compile_string source in

@@ -9,11 +9,16 @@
     fewer false alarms: context insensitivity merges the sanitized and
     unsanitized pools, Cut-Shortcut keeps them apart.
 
+    The client reports through {!Csc_checks.Diagnostic} — the same record,
+    renderers and ordering the built-in checkers use — showing how an
+    external analysis plugs into the diagnostics pipeline.
+
     Run with: dune exec examples/taint_tracker.exe *)
 
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 module Bits = Csc_common.Bits
+module Diagnostic = Csc_checks.Diagnostic
 
 let source =
   {|
@@ -99,22 +104,53 @@ let sink_args (p : Ir.program) (r : Solver.result) : (Ir.call_id * Ir.var_id) li
       else [])
     r.r_edges
 
-let report name (p : Ir.program) (r : Solver.result) =
+(* one Diagnostic.t per tainted sink argument, in the shared format *)
+let diagnostics (p : Ir.program) (r : Solver.result) : Diagnostic.t list =
   let sources = source_allocs p in
-  let alarms =
-    List.filter
-      (fun (_, arg) -> Bits.inter_nonempty (r.r_pt arg) sources)
-      (sink_args p r)
-  in
+  List.filter_map
+    (fun (site, arg) ->
+      let tainted =
+        List.rev
+          (Bits.fold
+             (fun a acc -> if Bits.mem sources a then a :: acc else acc)
+             (r.r_pt arg) [])
+      in
+      if tainted = [] then None
+      else
+        let cs = Ir.call p site in
+        Some
+          Diagnostic.
+            {
+              d_check = "taint";
+              d_severity = Error;
+              d_method = cs.Ir.cs_method;
+              d_path = Csc_checks.Devirt.site_path p site;
+              d_message =
+                Printf.sprintf
+                  "possible injection: tainted value reaches %s (line %d)"
+                  (Ir.method_name p cs.Ir.cs_target)
+                  cs.Ir.cs_line;
+              d_witness =
+                Some
+                  (Printf.sprintf "tainted alloc(s): %s"
+                     (String.concat ", "
+                        (List.map
+                           (fun a ->
+                             let site = Ir.alloc p a in
+                             Printf.sprintf "%s:%d"
+                               (Ir.method_name p site.Ir.a_method)
+                               site.Ir.a_line)
+                           tainted)));
+            })
+    (sink_args p r)
+  |> List.sort_uniq Diagnostic.compare
+
+let report name (p : Ir.program) (r : Solver.result) =
+  let alarms = diagnostics p r in
   Fmt.pr "%-6s: %d sink call(s) reachable, %d tainted@." name
     (List.length (sink_args p r))
     (List.length alarms);
-  List.iter
-    (fun (site, _) ->
-      Fmt.pr "    ! possible injection at line %d of %s@."
-        (Ir.call p site).cs_line
-        (Ir.method_name p (Ir.call p site).cs_method))
-    alarms
+  List.iter (fun d -> Fmt.pr "    %a@." (Diagnostic.pp_text p) d) alarms
 
 let () =
   let p = Csc_lang.Frontend.compile_string source in

@@ -1,0 +1,174 @@
+(** Control-flow graphs over the structured IR.
+
+    The IR keeps control flow structured ([If]/[While] own their blocks, see
+    {!Csc_ir.Ir.stmt}); the flow-sensitive checkers need basic blocks with
+    pred/succ edges instead. This module linearizes a method body:
+
+    - every statement lands in exactly one block, labelled with its
+      {!Csc_ir.Ir.stmt_path}, so the statement multiset equals
+      [iter_stmts]'s and diagnostics can point back into the source;
+    - an [If] terminates its block ([cond_pre], empty in frontend output, is
+      linearized just before it); the branches join in a fresh block;
+    - a [While] becomes a loop header holding [cond_pre] plus the [While]
+      itself as the test, with a back edge from the body and an exit edge to
+      the continuation — matching the interpreter, which re-runs [cond_pre]
+      before every test;
+    - [Return] edges to the dedicated exit block; trailing statements go to a
+      fresh, unreachable block (dead code keeps its place in the multiset).
+
+    Blocks [c_entry] and [c_exit] are always present and empty. *)
+
+module Ir = Csc_ir.Ir
+
+type block = {
+  b_id : int;
+  mutable b_stmts : (Ir.stmt_path * Ir.stmt) array;
+  mutable b_succs : int list;
+  mutable b_preds : int list;
+}
+
+type t = {
+  c_blocks : block array;
+  c_entry : int;
+  c_exit : int;
+}
+
+let block t i = t.c_blocks.(i)
+let n_blocks t = Array.length t.c_blocks
+let entry t = t.c_entry
+let exit_ t = t.c_exit
+let succs t i = t.c_blocks.(i).b_succs
+let preds t i = t.c_blocks.(i).b_preds
+
+let build (body : Ir.stmt array) : t =
+  let blocks = ref [] and n = ref 0 in
+  (* statements accumulate reversed per block; finalized below *)
+  let stmts : (int, (Ir.stmt_path * Ir.stmt) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let fresh () =
+    let b = { b_id = !n; b_stmts = [||]; b_succs = []; b_preds = [] } in
+    incr n;
+    blocks := b :: !blocks;
+    Hashtbl.add stmts b.b_id (ref []);
+    b
+  in
+  let push b ps =
+    let l = Hashtbl.find stmts b.b_id in
+    l := ps :: !l
+  in
+  let edge a b =
+    if not (List.mem b.b_id a.b_succs) then begin
+      a.b_succs <- b.b_id :: a.b_succs;
+      b.b_preds <- a.b_id :: b.b_preds
+    end
+  in
+  let entry = fresh () in
+  let exit_b = fresh () in
+  (* [go start prefix stmts] appends [stmts] starting in block [start];
+     returns the open block control falls out of, [None] after a [Return].
+     Statements following a [Return] land in a fresh unreachable block. *)
+  let rec go (start : block) prefix (ss : Ir.stmt array) : block option =
+    let current = ref (Some start) in
+    Array.iteri
+      (fun i s ->
+        let path = prefix @ [ Ir.Sstmt i ] in
+        let b =
+          match !current with
+          | Some b -> b
+          | None ->
+            let b = fresh () in
+            current := Some b;
+            b
+        in
+        match s with
+        | Ir.Return _ ->
+          push b (path, s);
+          edge b exit_b;
+          current := None
+        | Ir.If { cond_pre; then_; else_; _ } ->
+          let b =
+            match go b (path @ [ Ir.Scond ]) cond_pre with
+            | Some b -> b
+            | None -> fresh ()
+          in
+          push b (path, s);
+          let join = fresh () in
+          let branch sel ss =
+            if Array.length ss = 0 then edge b join
+            else begin
+              let e = fresh () in
+              edge b e;
+              match go e (path @ [ sel ]) ss with
+              | Some last -> edge last join
+              | None -> ()
+            end
+          in
+          branch Ir.Sthen then_;
+          branch Ir.Selse else_;
+          current := Some join
+        | Ir.While { cond_pre; body; _ } ->
+          let header = fresh () in
+          edge b header;
+          let h_end =
+            match go header (path @ [ Ir.Scond ]) cond_pre with
+            | Some x -> x
+            | None -> fresh ()
+          in
+          push h_end (path, s);
+          let after = fresh () in
+          edge h_end after;
+          if Array.length body = 0 then edge h_end header
+          else begin
+            let be = fresh () in
+            edge h_end be;
+            match go be (path @ [ Ir.Sbody ]) body with
+            | Some last -> edge last header
+            | None -> ()
+          end;
+          current := Some after
+        | _ -> push b (path, s))
+      ss;
+    !current
+  in
+  let first = fresh () in
+  edge entry first;
+  (match go first [] body with Some last -> edge last exit_b | None -> ());
+  let arr = Array.of_list (List.rev !blocks) in
+  Array.iter
+    (fun b ->
+      b.b_stmts <- Array.of_list (List.rev !(Hashtbl.find stmts b.b_id));
+      (* deterministic edge order: as discovered *)
+      b.b_succs <- List.rev b.b_succs;
+      b.b_preds <- List.rev b.b_preds)
+    arr;
+  { c_blocks = arr; c_entry = entry.b_id; c_exit = exit_b.b_id }
+
+let of_method (p : Ir.program) (mid : Ir.method_id) : t =
+  build (Ir.metho p mid).m_body
+
+(** Visit every statement with its path, in block order (execution order
+    within each block). *)
+let iter_stmts f (t : t) =
+  Array.iter
+    (fun b -> Array.iter (fun (path, s) -> f path s) b.b_stmts)
+    t.c_blocks
+
+let stmt_count (t : t) =
+  Array.fold_left (fun acc b -> acc + Array.length b.b_stmts) 0 t.c_blocks
+
+let pp ppf (t : t) =
+  Array.iter
+    (fun b ->
+      Fmt.pf ppf "B%d%s%s  preds=[%a] succs=[%a]@."
+        b.b_id
+        (if b.b_id = t.c_entry then " (entry)" else "")
+        (if b.b_id = t.c_exit then " (exit)" else "")
+        Fmt.(list ~sep:(any ",") int)
+        b.b_preds
+        Fmt.(list ~sep:(any ",") int)
+        b.b_succs;
+      Array.iter
+        (fun (path, _) -> Fmt.pf ppf "  %s@." (Ir.path_to_string path))
+        b.b_stmts)
+    t.c_blocks

@@ -1,0 +1,35 @@
+(** Control-flow graphs: basic blocks with pred/succ edges, linearized from
+    the structured [If]/[While] IR. Every statement lands in exactly one
+    block, labelled with its {!Csc_ir.Ir.stmt_path}; loop headers re-run
+    [cond_pre] exactly like the interpreter does. *)
+
+module Ir = Csc_ir.Ir
+
+type block = {
+  b_id : int;
+  mutable b_stmts : (Ir.stmt_path * Ir.stmt) array;
+  mutable b_succs : int list;
+  mutable b_preds : int list;
+}
+
+type t = {
+  c_blocks : block array;
+  c_entry : int;  (** dedicated empty entry block *)
+  c_exit : int;   (** dedicated empty exit block; [Return] edges here *)
+}
+
+val build : Ir.stmt array -> t
+val of_method : Ir.program -> Ir.method_id -> t
+
+val block : t -> int -> block
+val n_blocks : t -> int
+val entry : t -> int
+val exit_ : t -> int
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+(** Visit every statement with its path, in block order. *)
+val iter_stmts : (Ir.stmt_path -> Ir.stmt -> unit) -> t -> unit
+
+val stmt_count : t -> int
+val pp : Format.formatter -> t -> unit

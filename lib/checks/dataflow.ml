@@ -1,0 +1,117 @@
+(** Generic monotone dataflow framework over {!Cfg}.
+
+    A classic worklist fixpoint, parameterized by a join-semilattice and a
+    per-statement transfer function, running forward or backward. Liveness,
+    reaching definitions and the null-state analysis are all instances.
+
+    Domain values are treated as immutable: [join] and [transfer] must return
+    fresh values (or share safely) and never mutate their arguments — the
+    solver aliases values freely. *)
+
+module Ir = Csc_ir.Ir
+
+module type DOMAIN = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  (** Least upper bound; must not mutate its arguments. *)
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (D : DOMAIN) = struct
+  type spec = {
+    dir : direction;
+    boundary : D.t;
+        (** fact at method entry (Forward) or method exit (Backward) *)
+    bottom : D.t;  (** initial fact everywhere; the lattice's least element *)
+    transfer : Ir.stmt_path -> Ir.stmt -> D.t -> D.t;
+  }
+
+  type result = {
+    input : D.t array;
+        (** per block: fact at the block's analysis-direction entry
+            (execution entry for Forward, execution exit for Backward) *)
+    output : D.t array;  (** [input] pushed through the block's transfer *)
+  }
+
+  let block_transfer spec (b : Cfg.block) (d : D.t) : D.t =
+    match spec.dir with
+    | Forward ->
+      Array.fold_left (fun d (p, s) -> spec.transfer p s d) d b.b_stmts
+    | Backward ->
+      let d = ref d in
+      for i = Array.length b.b_stmts - 1 downto 0 do
+        let p, s = b.b_stmts.(i) in
+        d := spec.transfer p s !d
+      done;
+      !d
+
+  let solve spec (cfg : Cfg.t) : result =
+    let n = Cfg.n_blocks cfg in
+    let input = Array.make n spec.bottom in
+    let output = Array.make n spec.bottom in
+    let flow_preds, flow_succs, start =
+      match spec.dir with
+      | Forward -> (Cfg.preds cfg, Cfg.succs cfg, Cfg.entry cfg)
+      | Backward -> (Cfg.succs cfg, Cfg.preds cfg, Cfg.exit_ cfg)
+    in
+    let on_wl = Array.make n true in
+    let wl = Queue.create () in
+    for i = 0 to n - 1 do
+      Queue.push i wl
+    done;
+    while not (Queue.is_empty wl) do
+      let b = Queue.pop wl in
+      on_wl.(b) <- false;
+      let inp =
+        List.fold_left
+          (fun acc p -> D.join acc output.(p))
+          (if b = start then spec.boundary else spec.bottom)
+          (flow_preds b)
+      in
+      input.(b) <- inp;
+      let out = block_transfer spec (Cfg.block cfg b) inp in
+      if not (D.equal out output.(b)) then begin
+        output.(b) <- out;
+        List.iter
+          (fun s ->
+            if not on_wl.(s) then begin
+              on_wl.(s) <- true;
+              Queue.push s wl
+            end)
+          (flow_succs b)
+      end
+    done;
+    { input; output }
+
+  (** Per-statement facts. [f path stmt ~before ~after] receives the facts in
+      *execution* order on both directions (for Backward, [before] is the
+      fact holding just before the statement executes, i.e. the transfer's
+      result). *)
+  let iter_stmt_facts spec (cfg : Cfg.t) (res : result) f =
+    Array.iteri
+      (fun bid (b : Cfg.block) ->
+        match spec.dir with
+        | Forward ->
+          let d = ref res.input.(bid) in
+          Array.iter
+            (fun (p, s) ->
+              let before = !d in
+              let after = spec.transfer p s before in
+              f p s ~before ~after;
+              d := after)
+            b.b_stmts
+        | Backward ->
+          let d = ref res.input.(bid) in
+          for i = Array.length b.b_stmts - 1 downto 0 do
+            let p, s = b.b_stmts.(i) in
+            let after = !d in
+            let before = spec.transfer p s after in
+            f p s ~before ~after;
+            d := before
+          done)
+      cfg.Cfg.c_blocks
+end

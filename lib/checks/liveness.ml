@@ -1,0 +1,50 @@
+(** Live-variable analysis: a backward {!Dataflow} instance over variable
+    bitsets. Drives the dead-store / unused-variable lint. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+
+module BitsDom = struct
+  type t = Bits.t
+
+  let equal = Bits.equal
+
+  let join a b =
+    let c = Bits.copy a in
+    ignore (Bits.union_into ~into:c b);
+    c
+end
+
+module DF = Dataflow.Make (BitsDom)
+
+type t = { df : DF.result; spec : DF.spec }
+
+let transfer _path (s : Ir.stmt) (live : Bits.t) : Bits.t =
+  let out = Bits.copy live in
+  (match Ir.def_of s with Some v -> Bits.remove out v | None -> ());
+  List.iter (fun v -> ignore (Bits.add out v)) (Ir.uses_of s);
+  out
+
+let compute (cfg : Cfg.t) : t =
+  let spec =
+    DF.
+      {
+        dir = Dataflow.Backward;
+        boundary = Bits.create ();
+        bottom = Bits.create ();
+        transfer;
+      }
+  in
+  { df = DF.solve spec cfg; spec }
+
+(** [f path stmt ~live_before ~live_after] in execution order:
+    [live_after] is the set of variables live just after [stmt]. *)
+let iter (t : t) (cfg : Cfg.t) f =
+  DF.iter_stmt_facts t.spec cfg t.df (fun p s ~before ~after ->
+      f p s ~live_before:before ~live_after:after)
+
+(** Variables live at method entry (used before any definition, e.g.
+    parameters — or reads of uninitialized locals). With the backward
+    direction, a block's [output] is its execution-entry fact. *)
+let live_at_entry (t : t) (cfg : Cfg.t) : Bits.t =
+  Bits.copy t.df.DF.output.(Cfg.entry cfg)

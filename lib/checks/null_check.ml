@@ -1,0 +1,181 @@
+(** Flow-sensitive null-dereference checker.
+
+    A forward {!Dataflow} instance tracking, per reference variable, the
+    four-point nullness lattice
+
+    {v        MaybeNull  (= may-null and may-non-null)
+             /        \
+           Null      NonNull
+             \        /
+            Unassigned  (bottom: no definition reaches)         v}
+
+    encoded as two bitsets ([may-null], [may-non-null]). Transfer is exact
+    for [ConstNull], allocations and copies/casts; values coming out of the
+    heap or out of calls are where the pointer analysis joins in: if the
+    points-to set of the defined variable is *empty*, no allocation can ever
+    reach it, so its value can only be null ([Null]); otherwise the checker
+    optimistically assumes [NonNull] (the conventional lint trade-off, which
+    keeps heap reads from drowning the report in maybe-null noise).
+
+    At every dereference (field/array access, [.length], virtual/special
+    call receiver) of variable [x]:
+    - state [Null]       -> Error: the dereference must NPE;
+    - state [MaybeNull]  -> Warning: an explicit null assignment reaches;
+    - state [Unassigned] -> Warning: no assignment to [x] reaches on any
+      path (MiniJava locals declared without initializer default to null;
+      being the lattice bottom, this is only reported when *no* reaching
+      path assigns — partial initialization folds into the assigned state).
+
+    Precision of the underlying analysis shows up directly: a more precise
+    points-to result proves more loads empty (finding more definite NPEs)
+    and, through fewer spuriously-reachable methods, drops alarms a
+    context-insensitive analysis reports in dead code. *)
+
+open Csc_common
+module Ir = Csc_ir.Ir
+module Solver = Csc_pta.Solver
+
+type state = { mnull : Bits.t; mnn : Bits.t }
+
+module Dom = struct
+  type t = state
+
+  let equal a b = Bits.equal a.mnull b.mnull && Bits.equal a.mnn b.mnn
+
+  let join a b =
+    let mnull = Bits.copy a.mnull and mnn = Bits.copy a.mnn in
+    ignore (Bits.union_into ~into:mnull b.mnull);
+    ignore (Bits.union_into ~into:mnn b.mnn);
+    { mnull; mnn }
+end
+
+module DF = Dataflow.Make (Dom)
+
+type nullness = Unassigned | Null | NonNull | MaybeNull
+
+let nullness_of (d : state) (v : Ir.var_id) : nullness =
+  match (Bits.mem d.mnull v, Bits.mem d.mnn v) with
+  | false, false -> Unassigned
+  | true, false -> Null
+  | false, true -> NonNull
+  | true, true -> MaybeNull
+
+let set (d : state) v (n : nullness) : state =
+  let mnull = Bits.copy d.mnull and mnn = Bits.copy d.mnn in
+  Bits.remove mnull v;
+  Bits.remove mnn v;
+  (match n with
+  | Null -> ignore (Bits.add mnull v)
+  | NonNull -> ignore (Bits.add mnn v)
+  | MaybeNull ->
+    ignore (Bits.add mnull v);
+    ignore (Bits.add mnn v)
+  | Unassigned -> ());
+  { mnull; mnn }
+
+let is_ref (p : Ir.program) v = Ir.is_ref_type (Ir.var p v).v_ty
+
+(** Transfer: only reference-typed definitions move the state. *)
+let transfer (p : Ir.program) (r : Solver.result) _path (s : Ir.stmt)
+    (d : state) : state =
+  let from_heap lhs =
+    (* the points-to join: empty pt => only null can flow here *)
+    if Bits.is_empty (r.Solver.r_pt lhs) then Null else NonNull
+  in
+  match s with
+  | ConstNull { lhs } -> set d lhs Null
+  | New { lhs; _ } | NewArray { lhs; _ } | StrConst { lhs; _ } ->
+    set d lhs NonNull
+  | Copy { lhs; rhs } when is_ref p lhs ->
+    set d lhs (match nullness_of d rhs with Unassigned -> Null | n -> n)
+  | Cast { lhs; rhs; _ } when is_ref p lhs ->
+    (* a cast preserves nullness; an unassigned operand reads as null *)
+    set d lhs (match nullness_of d rhs with Unassigned -> Null | n -> n)
+  | Load { lhs; _ } | ALoad { lhs; _ } | SLoad { lhs; _ }
+    when is_ref p lhs ->
+    set d lhs (from_heap lhs)
+  | Invoke { lhs = Some lhs; _ } when is_ref p lhs -> set d lhs (from_heap lhs)
+  | _ -> d
+
+(** The variable a statement dereferences, if any. *)
+let deref_of (s : Ir.stmt) : Ir.var_id option =
+  match s with
+  | Load { base; _ } | Store { base; _ } -> Some base
+  | ALoad { arr; _ } | AStore { arr; _ } | ALen { arr; _ } -> Some arr
+  | Invoke { kind = Virtual | Special; recv = Some r; _ } -> Some r
+  | _ -> None
+
+let check_name = "null-deref"
+
+(** Diagnostics for one method. *)
+let check_method (p : Ir.program) (r : Solver.result) (mid : Ir.method_id) :
+    Diagnostic.t list =
+  let m = Ir.metho p mid in
+  let cfg = Cfg.of_method p mid in
+  let boundary =
+    (* this and parameters are assumed non-null at entry (the caller's
+       responsibility — checked at the call site's receiver, not here) *)
+    let d = { mnull = Bits.create (); mnn = Bits.create () } in
+    (match m.m_this with Some t -> ignore (Bits.add d.mnn t) | None -> ());
+    Array.iter (fun v -> if is_ref p v then ignore (Bits.add d.mnn v)) m.m_params;
+    d
+  in
+  let spec =
+    DF.
+      {
+        dir = Dataflow.Forward;
+        boundary;
+        bottom = { mnull = Bits.create (); mnn = Bits.create () };
+        transfer = transfer p r;
+      }
+  in
+  let res = DF.solve spec cfg in
+  let out = ref [] in
+  let emit path sev msg witness =
+    out :=
+      Diagnostic.
+        {
+          d_check = check_name;
+          d_severity = sev;
+          d_method = mid;
+          d_path = path;
+          d_message = msg;
+          d_witness = witness;
+        }
+      :: !out
+  in
+  DF.iter_stmt_facts spec cfg res (fun path s ~before ~after:_ ->
+      match deref_of s with
+      | None -> ()
+      | Some v when not (is_ref p v) -> ()
+      | Some v -> (
+        let name = Ir.var_name p v in
+        match nullness_of before v with
+        | NonNull -> ()
+        | Null ->
+          let why =
+            if Bits.is_empty (r.Solver.r_pt v) then
+              Printf.sprintf "pt(%s) = {} under %s" name r.Solver.r_name
+            else Printf.sprintf "a null assignment to %s reaches" name
+          in
+          emit path Diagnostic.Error
+            (Printf.sprintf "dereference of %s, which is null here" name)
+            (Some why)
+        | MaybeNull ->
+          emit path Diagnostic.Warning
+            (Printf.sprintf "dereference of %s, which may be null here" name)
+            (Some (Printf.sprintf "a null assignment to %s reaches on some path" name))
+        | Unassigned ->
+          emit path Diagnostic.Warning
+            (Printf.sprintf
+               "dereference of %s, which is never assigned on this path \
+                (defaults to null)"
+               name)
+            None));
+  List.rev !out
+
+let check (p : Ir.program) (r : Solver.result) : Diagnostic.t list =
+  Bits.fold
+    (fun mid acc -> List.rev_append (check_method p r mid) acc)
+    r.Solver.r_reach []
+  |> List.sort Diagnostic.compare

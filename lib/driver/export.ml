@@ -6,20 +6,13 @@ module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 
 (** Graphviz DOT rendering of the (projected) call graph. [include_jdk]
-    keeps mini-JDK internal methods (they dominate visually, default off:
-    a method is considered JDK if its class appears in the jdk unit, i.e.
-    before the first user class - we approximate by name). *)
+    keeps mini-JDK internal methods (they dominate visually, default off;
+    membership comes from {!Csc_lang.Jdk.is_jdk_class}). *)
 let callgraph_dot ?(include_jdk = false) (p : Ir.program) (r : Solver.result) :
     string =
-  let jdk_classes =
-    [ "Object"; "String"; "Collection"; "Iterator"; "ArrayList";
-      "ArrayListIterator"; "ListNode"; "LinkedList"; "LinkedListIterator";
-      "HashSet"; "Map"; "MapEntry"; "HashMap"; "KeySetView"; "ValuesView";
-      "KeyIterator"; "ValueIterator"; "Stack"; "DequeNode"; "ArrayDeque";
-      "DequeIterator"; "Queue"; "Optional"; "StringBuilder"; "Collections";
-      "Box"; "Pair"; "Util" ]
+  let is_jdk m =
+    Csc_lang.Jdk.is_jdk_class (Ir.class_name p (Ir.metho p m).m_class)
   in
-  let is_jdk m = List.mem (Ir.class_name p (Ir.metho p m).m_class) jdk_classes in
   let keep m = include_jdk || not (is_jdk m) in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";

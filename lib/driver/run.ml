@@ -93,8 +93,12 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
   }
 
 (** Run one analysis under an optional time budget (seconds). Timeouts are
-    reported in the outcome, not raised — like the paper's ">2h" cells. *)
-let run ?budget_s (p : Ir.program) (analysis : analysis) : outcome =
+    reported in the outcome, not raised — like the paper's ">2h" cells.
+    [validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR fails
+    fast instead of silently corrupting analysis results. *)
+let run ?budget_s ?(validate = false) (p : Ir.program) (analysis : analysis) :
+    outcome =
+  if validate then Csc_ir.Validate.check_exn p;
   let budget =
     match budget_s with
     | Some s -> Timer.budget_of_seconds s

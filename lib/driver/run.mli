@@ -47,8 +47,11 @@ type outcome = {
 
 (** Run one analysis under an optional wall-clock budget (seconds; a 4 GB
     heap cap applies too). Timeouts are reported in the outcome, not
-    raised — like the paper's ">2h" cells. *)
-val run : ?budget_s:float -> Ir.program -> analysis -> outcome
+    raised — like the paper's ">2h" cells. [validate] (default false) runs
+    {!Csc_ir.Validate.check_exn} on the program first, so malformed IR fails
+    fast (raising [Failure]) instead of corrupting analysis results; the
+    test suite keeps it always on. *)
+val run : ?budget_s:float -> ?validate:bool -> Ir.program -> analysis -> outcome
 
 type recall_report = {
   rc_analysis : string;

@@ -210,6 +210,50 @@ let alloc_typ p (a : alloc_id) : typ =
 
 (* ---------------------------------------------------------------- walking *)
 
+(** Statement paths: a stable address for any statement inside a method body,
+    through the structured [If]/[While] nesting. A path alternates statement
+    indices ([Sstmt]) with block selectors descending into the statement just
+    selected. Example: [[Sstmt 3; Sthen; Sstmt 0]] is the first statement of
+    the then-branch of the fourth top-level statement. The flow-sensitive
+    checkers ({!Csc_checks}) anchor every diagnostic to such a path. *)
+type path_step =
+  | Sstmt of int  (** statement index within the current block *)
+  | Scond         (** descend into [cond_pre] of the selected [If]/[While] *)
+  | Sthen         (** descend into [then_] of the selected [If] *)
+  | Selse         (** descend into [else_] of the selected [If] *)
+  | Sbody         (** descend into [body] of the selected [While] *)
+
+type stmt_path = path_step list
+
+let path_to_string (p : stmt_path) : string =
+  String.concat "/"
+    (List.map
+       (function
+         | Sstmt i -> string_of_int i
+         | Scond -> "cond"
+         | Sthen -> "then"
+         | Selse -> "else"
+         | Sbody -> "body")
+       p)
+
+let pp_path ppf p = Fmt.string ppf (path_to_string p)
+
+(** [stmt_at body path] resolves a path back to its statement, [None] if the
+    path does not address a statement of [body]. *)
+let rec stmt_at (body : stmt array) (path : stmt_path) : stmt option =
+  match path with
+  | Sstmt i :: rest when i >= 0 && i < Array.length body -> (
+    let s = body.(i) in
+    match (rest, s) with
+    | [], _ -> Some s
+    | Scond :: rest, (If { cond_pre; _ } | While { cond_pre; _ }) ->
+      stmt_at cond_pre rest
+    | Sthen :: rest, If { then_; _ } -> stmt_at then_ rest
+    | Selse :: rest, If { else_; _ } -> stmt_at else_ rest
+    | Sbody :: rest, While { body; _ } -> stmt_at body rest
+    | _ -> None)
+  | _ -> None
+
 (** [iter_stmts f body] visits every statement including nested blocks and
     condition-recomputation prefixes; flow-insensitive consumers use this. *)
 let rec iter_stmts f (body : stmt array) =
@@ -226,6 +270,27 @@ let rec iter_stmts f (body : stmt array) =
         iter_stmts f body
       | _ -> ())
     body
+
+(** [iter_stmts_path f body] is {!iter_stmts} with each statement's
+    {!type-stmt_path} (same visit order). *)
+let iter_stmts_path f (body : stmt array) =
+  let rec go rev_prefix body =
+    Array.iteri
+      (fun i s ->
+        let here = Sstmt i :: rev_prefix in
+        f (List.rev here) s;
+        match s with
+        | If { cond_pre; then_; else_; _ } ->
+          go (Scond :: here) cond_pre;
+          go (Sthen :: here) then_;
+          go (Selse :: here) else_
+        | While { cond_pre; body; _ } ->
+          go (Scond :: here) cond_pre;
+          go (Sbody :: here) body
+        | _ -> ())
+      body
+  in
+  go [] body
 
 let iter_method_stmts f (m : metho) = iter_stmts f m.m_body
 
@@ -253,6 +318,29 @@ let def_of = function
   | Invoke { lhs; _ } -> lhs
   | Store _ | AStore _ | SStore _ | Return _ | If _ | While _ | Print _ | Nop ->
     None
+
+(** The variables a statement reads. [If]/[While] contribute only their
+    condition — nested blocks are separate statements (see {!iter_stmts}). *)
+let uses_of = function
+  | New _ | StrConst _ | ConstInt _ | ConstBool _ | ConstNull _ | SLoad _
+  | Nop ->
+    []
+  | NewArray { len; _ } -> [ len ]
+  | Copy { rhs; _ } -> [ rhs ]
+  | Cast { rhs; _ } | InstanceOf { rhs; _ } -> [ rhs ]
+  | Load { base; _ } -> [ base ]
+  | Store { base; rhs; _ } -> [ base; rhs ]
+  | ALoad { arr; idx; _ } -> [ arr; idx ]
+  | AStore { arr; idx; rhs } -> [ arr; idx; rhs ]
+  | ALen { arr; _ } -> [ arr ]
+  | SStore { rhs; _ } -> [ rhs ]
+  | Binop { a; b; _ } -> [ a; b ]
+  | Unop { a; _ } -> [ a ]
+  | Invoke { recv; args; _ } ->
+    Option.to_list recv @ Array.to_list args
+  | Return v -> Option.to_list v
+  | If { cond; _ } | While { cond; _ } -> [ cond ]
+  | Print { arg } -> [ arg ]
 
 (* --------------------------------------------------------- pretty printing *)
 

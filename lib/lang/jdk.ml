@@ -568,3 +568,30 @@ class Util {
   }
 }
 |}
+
+(* The class inventory is derived from [source] itself so it can never drift
+   from the actual mini-JDK contents. *)
+let class_names =
+  lazy
+    (let names = ref [] in
+     let lines = String.split_on_char '\n' source in
+     List.iter
+       (fun line ->
+         let line = String.trim line in
+         let pfx = "class " in
+         let plen = String.length pfx in
+         if String.length line > plen && String.sub line 0 plen = pfx then begin
+           let rest = String.sub line plen (String.length line - plen) in
+           let stop = ref (String.length rest) in
+           String.iteri
+             (fun i c ->
+               if !stop = String.length rest && (c = ' ' || c = '{') then
+                 stop := i)
+             rest;
+           names := String.sub rest 0 !stop :: !names
+         end)
+       lines;
+     List.rev !names)
+
+let class_names () = Lazy.force class_names
+let is_jdk_class name = List.mem name (class_names ())

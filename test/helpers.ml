@@ -3,7 +3,12 @@
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 
-let compile src = Csc_lang.Frontend.compile_string src
+(* every compiled test program goes through the IR validator, so the whole
+   suite doubles as a frontend well-formedness check *)
+let compile src =
+  let p = Csc_lang.Frontend.compile_string src in
+  Csc_ir.Validate.check_exn p;
+  p
 
 let find_method (p : Ir.program) name : Ir.metho =
   let found = ref None in

@@ -1,0 +1,245 @@
+(** CFG construction tests: block shape for straight-line code, branches
+    (including empty ones), loops, dead code after [Return] — plus the
+    linearization invariant (the CFG's statement multiset equals
+    [Ir.iter_stmts]'s and every path resolves with [Ir.stmt_at]) checked on
+    compiled methods and on random generated programs. *)
+
+module Ir = Csc_ir.Ir
+module Cfg = Csc_checks.Cfg
+module Gen = Csc_workloads.Gen
+
+let ci lhs value = Ir.ConstInt { lhs; value }
+
+(* ---------------------------------------------------------- hand-built *)
+
+let test_straight_line () =
+  let cfg = Cfg.build [| ci 0 1; ci 1 2; Ir.Return None |] in
+  Alcotest.(check int) "all stmts placed" 3 (Cfg.stmt_count cfg);
+  let entry = Cfg.block cfg (Cfg.entry cfg) in
+  let exit_b = Cfg.block cfg (Cfg.exit_ cfg) in
+  Alcotest.(check int) "entry empty" 0 (Array.length entry.Cfg.b_stmts);
+  Alcotest.(check int) "exit empty" 0 (Array.length exit_b.Cfg.b_stmts);
+  Alcotest.(check bool) "exit reachable" true (exit_b.Cfg.b_preds <> []);
+  (* the single body block holds all three statements *)
+  let body =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.filter (fun b -> Array.length b.Cfg.b_stmts > 0)
+  in
+  Alcotest.(check int) "one body block" 1 (List.length body);
+  Alcotest.(check (list int))
+    "return edges to exit"
+    [ Cfg.exit_ cfg ]
+    (List.hd body).Cfg.b_succs
+
+let test_if_join () =
+  let body =
+    [|
+      ci 0 1;
+      Ir.If { cond = 0; cond_pre = [||]; then_ = [| ci 1 1 |]; else_ = [| ci 1 2 |] };
+      Ir.Return None;
+    |]
+  in
+  let cfg = Cfg.build body in
+  Alcotest.(check int) "all stmts placed" 5 (Cfg.stmt_count cfg);
+  (* find the block ending in the If: it must have two successors *)
+  let if_block =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b ->
+           Array.length b.Cfg.b_stmts > 0
+           &&
+           match snd b.Cfg.b_stmts.(Array.length b.Cfg.b_stmts - 1) with
+           | Ir.If _ -> true
+           | _ -> false)
+  in
+  Alcotest.(check int) "branch fan-out" 2 (List.length if_block.Cfg.b_succs);
+  (* both branch blocks converge: some block has both of them as preds *)
+  let join =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b -> List.length b.Cfg.b_preds = 2)
+  in
+  Alcotest.(check bool) "join exists" true (join.Cfg.b_id >= 0)
+
+let test_if_empty_branches () =
+  let body =
+    [|
+      ci 0 1;
+      Ir.If { cond = 0; cond_pre = [||]; then_ = [||]; else_ = [||] };
+      Ir.Return None;
+    |]
+  in
+  let cfg = Cfg.build body in
+  Alcotest.(check int) "all stmts placed" 3 (Cfg.stmt_count cfg);
+  let if_block =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b ->
+           Array.exists
+             (fun (_, s) -> match s with Ir.If _ -> true | _ -> false)
+             b.Cfg.b_stmts)
+  in
+  (* both empty branches collapse to a single deduplicated edge to the join *)
+  Alcotest.(check int) "single join edge" 1 (List.length if_block.Cfg.b_succs)
+
+let test_while_loop () =
+  let body =
+    [|
+      ci 0 1;
+      Ir.While { cond = 0; cond_pre = [| ci 0 0 |]; body = [| ci 1 7 |] };
+      Ir.Return None;
+    |]
+  in
+  let cfg = Cfg.build body in
+  Alcotest.(check int) "all stmts placed" 5 (Cfg.stmt_count cfg);
+  let header =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b ->
+           Array.exists
+             (fun (_, s) -> match s with Ir.While _ -> true | _ -> false)
+             b.Cfg.b_stmts)
+  in
+  (* header holds cond_pre + the While test, and branches body/after *)
+  Alcotest.(check int) "cond_pre in header" 2 (Array.length header.Cfg.b_stmts);
+  Alcotest.(check int) "loop fan-out" 2 (List.length header.Cfg.b_succs);
+  (* back edge: the body block's successor is the header *)
+  let body_block =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b ->
+           Array.exists
+             (fun (_, s) ->
+               match s with Ir.ConstInt { lhs = 1; _ } -> true | _ -> false)
+             b.Cfg.b_stmts)
+  in
+  Alcotest.(check (list int))
+    "back edge to header"
+    [ header.Cfg.b_id ]
+    body_block.Cfg.b_succs
+
+let test_while_empty_body () =
+  let body =
+    [| Ir.While { cond = 0; cond_pre = [| ci 0 0 |]; body = [||] } |]
+  in
+  let cfg = Cfg.build body in
+  let header =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b ->
+           Array.exists
+             (fun (_, s) -> match s with Ir.While _ -> true | _ -> false)
+             b.Cfg.b_stmts)
+  in
+  Alcotest.(check bool)
+    "self loop" true
+    (List.mem header.Cfg.b_id header.Cfg.b_succs)
+
+let test_dead_code_after_return () =
+  let cfg = Cfg.build [| Ir.Return None; ci 0 1 |] in
+  Alcotest.(check int) "dead stmt kept" 2 (Cfg.stmt_count cfg);
+  let dead =
+    Array.to_list cfg.Cfg.c_blocks
+    |> List.find (fun b ->
+           Array.exists
+             (fun (_, s) -> match s with Ir.ConstInt _ -> true | _ -> false)
+             b.Cfg.b_stmts)
+  in
+  Alcotest.(check (list int)) "dead block unreachable" [] dead.Cfg.b_preds
+
+(* ------------------------------------------- invariants on compiled IR *)
+
+let nested_src =
+  {|
+class Main {
+  static void main() {
+    int i = 0;
+    int acc = 0;
+    while (i < 10) {
+      if (i < 5) { acc = acc + 1; }
+      else {
+        int j = 0;
+        while (j < i) { j = j + 1; }
+        acc = acc + j;
+      }
+      i = i + 1;
+    }
+    if (acc > 3) { System.print(acc); }
+    System.print(i);
+  }
+}
+|}
+
+let multiset (stmts : Ir.stmt list) = List.sort compare stmts
+
+let check_linearization (p : Ir.program) =
+  Array.iter
+    (fun (m : Ir.metho) ->
+      let cfg = Cfg.build m.Ir.m_body in
+      let from_ir = ref [] in
+      Ir.iter_stmts (fun s -> from_ir := s :: !from_ir) m.Ir.m_body;
+      let from_cfg = ref [] in
+      Cfg.iter_stmts
+        (fun path s ->
+          from_cfg := s :: !from_cfg;
+          (* every CFG label resolves back to the same statement *)
+          match Ir.stmt_at m.Ir.m_body path with
+          | Some s' when s' == s -> ()
+          | _ ->
+            Alcotest.failf "%s: path %s does not resolve"
+              (Ir.method_name p m.Ir.m_id)
+              (Ir.path_to_string path))
+        cfg;
+      if multiset !from_ir <> multiset !from_cfg then
+        Alcotest.failf "%s: statement multiset not preserved"
+          (Ir.method_name p m.Ir.m_id))
+    p.Ir.methods
+
+let test_nested_linearization () =
+  check_linearization (Helpers.compile nested_src)
+
+(* -------------------------------------------------- qcheck: random IR *)
+
+let shape_gen : Gen.shape QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* seed = int_range 1 1_000_000 in
+  let* n_entity = int_range 2 5 in
+  let* n_wrap = int_range 1 3 in
+  let* n_driver = int_range 1 3 in
+  let* ops = int_range 2 5 in
+  let* fork = int_range 0 5 in
+  return
+    Gen.
+      {
+        seed;
+        n_entity;
+        n_fields = 2;
+        n_wrap;
+        n_hier = 1;
+        hier_width = 2;
+        n_registry = 1;
+        n_util = 1;
+        n_driver;
+        ops_per_driver = ops;
+        loop_iters = 2;
+        fork_sites = fork;
+        mesh_classes = 4;
+      }
+
+let prop_multiset =
+  QCheck2.Test.make ~name:"CFG linearization preserves the stmt multiset"
+    ~count:15 shape_gen (fun shape ->
+      let p = Helpers.compile (Gen.generate shape) in
+      check_linearization p;
+      true)
+
+let suite =
+  [
+    ( "cfg",
+      [
+        Alcotest.test_case "straight line" `Quick test_straight_line;
+        Alcotest.test_case "if joins" `Quick test_if_join;
+        Alcotest.test_case "empty branches" `Quick test_if_empty_branches;
+        Alcotest.test_case "while loop" `Quick test_while_loop;
+        Alcotest.test_case "while empty body" `Quick test_while_empty_body;
+        Alcotest.test_case "dead code after return" `Quick
+          test_dead_code_after_return;
+        Alcotest.test_case "nested linearization" `Quick
+          test_nested_linearization;
+        QCheck_alcotest.to_alcotest prop_multiset;
+      ] );
+  ]

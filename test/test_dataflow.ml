@@ -1,0 +1,176 @@
+(** Dataflow framework tests: liveness and reaching-definition fixpoints on
+    compiled methods — branch joins, loop-carried facts, and entry facts
+    (used-before-defined detection). *)
+
+module Ir = Csc_ir.Ir
+module Bits = Csc_common.Bits
+module Cfg = Csc_checks.Cfg
+module Liveness = Csc_checks.Liveness
+module Reaching = Csc_checks.Reaching
+
+let cfg_of (p : Ir.program) mname =
+  Cfg.of_method p (Helpers.find_method p mname).Ir.m_id
+
+(* ------------------------------------------------------------ liveness *)
+
+let test_param_live_at_entry () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static int id(int n) { return n; }
+  static void main() { System.print(Main.id(3)); }
+}
+|}
+  in
+  let cfg = cfg_of p "Main.id" in
+  let live = Liveness.live_at_entry (Liveness.compute cfg) cfg in
+  let n = Helpers.var p "Main.id" "n" in
+  Alcotest.(check bool) "param live at entry" true (Bits.mem live n)
+
+let test_overwritten_def_not_live () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static void main() {
+    int a = 1;
+    a = 2;
+    System.print(a);
+  }
+}
+|}
+  in
+  let cfg = cfg_of p "Main.main" in
+  let t = Liveness.compute cfg in
+  let a = Helpers.var p "Main.main" "a" in
+  (* after [a = 1] (the first def of a), a is dead: it is overwritten *)
+  let first_seen = ref false in
+  Liveness.iter t cfg (fun _path s ~live_before:_ ~live_after ->
+      match s with
+      | Ir.ConstInt { lhs; value = 1 } when lhs = a && not !first_seen ->
+        first_seen := true;
+        Alcotest.(check bool) "dead after first def" false
+          (Bits.mem live_after a)
+      | Ir.ConstInt { lhs; value = 2 } when lhs = a ->
+        Alcotest.(check bool) "live after second def" true
+          (Bits.mem live_after a)
+      | _ -> ());
+  Alcotest.(check bool) "saw the first def" true !first_seen
+
+let test_loop_carried_liveness () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static void main() {
+    int i = 0;
+    int n = 10;
+    while (i < n) { i = i + 1; }
+    System.print(i);
+  }
+}
+|}
+  in
+  let cfg = cfg_of p "Main.main" in
+  let t = Liveness.compute cfg in
+  let i = Helpers.var p "Main.main" "i" in
+  let n = Helpers.var p "Main.main" "n" in
+  (* just before the While test both i and n must be live: the loop re-tests
+     the condition after every iteration (loop-carried fact) *)
+  Liveness.iter t cfg (fun _path s ~live_before ~live_after:_ ->
+      match s with
+      | Ir.While _ ->
+        Alcotest.(check bool) "i live at test" true (Bits.mem live_before i);
+        Alcotest.(check bool) "n live at test" true (Bits.mem live_before n)
+      | _ -> ())
+
+(* ------------------------------------------------- reaching definitions *)
+
+(* count the definitions of [v] reaching its use in the statement whose
+   uses contain [v], maximized over all such statements *)
+let max_reaching_defs (p : Ir.program) mname vname =
+  let cfg = cfg_of p mname in
+  let t = Reaching.compute cfg in
+  let v = Helpers.var p mname vname in
+  let best = ref 0 in
+  Reaching.iter t cfg (fun _path s ~reaching ->
+      if List.mem v (Ir.uses_of s) then
+        best := max !best (List.length (Reaching.defs_of_var t reaching v)));
+  !best
+
+let test_branch_defs_merge () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static void main() {
+    boolean b = true;
+    int x = 1;
+    if (b) { x = 2; }
+    System.print(x);
+  }
+}
+|}
+  in
+  (* both [x = 1] (fall-through) and [x = 2] (then-branch) reach the use *)
+  Alcotest.(check int) "two defs reach the join use" 2
+    (max_reaching_defs p "Main.main" "x")
+
+let test_straight_defs_kill () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static void main() {
+    int x = 1;
+    x = 2;
+    System.print(x);
+  }
+}
+|}
+  in
+  (* the second def kills the first: exactly one reaches the use *)
+  Alcotest.(check int) "overwrite kills" 1
+    (max_reaching_defs p "Main.main" "x")
+
+let test_loop_defs_reach_header () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static void main() {
+    int i = 0;
+    while (i < 3) { i = i + 1; }
+    System.print(i);
+  }
+}
+|}
+  in
+  (* at the loop test, both the init and the loop-body increment reach *)
+  let cfg = cfg_of p "Main.main" in
+  let t = Reaching.compute cfg in
+  let i = Helpers.var p "Main.main" "i" in
+  let at_test = ref 0 in
+  Reaching.iter t cfg (fun _path s ~reaching ->
+      match s with
+      | Ir.While _ -> at_test := List.length (Reaching.defs_of_var t reaching i)
+      | _ -> ());
+  Alcotest.(check int) "init + increment reach the test" 2 !at_test
+
+let suite =
+  [
+    ( "dataflow",
+      [
+        Alcotest.test_case "param live at entry" `Quick
+          test_param_live_at_entry;
+        Alcotest.test_case "overwritten def not live" `Quick
+          test_overwritten_def_not_live;
+        Alcotest.test_case "loop-carried liveness" `Quick
+          test_loop_carried_liveness;
+        Alcotest.test_case "branch defs merge" `Quick test_branch_defs_merge;
+        Alcotest.test_case "straight-line kill" `Quick test_straight_defs_kill;
+        Alcotest.test_case "loop defs reach header" `Quick
+          test_loop_defs_reach_header;
+      ] );
+  ]
