@@ -12,16 +12,25 @@
     - micro   : Bechamel micro-benchmarks of the substrates
 
     Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
+                                       [--json [FILE]] [--trace FILE]
     Default runs a representative subset sized for a laptop; pass `all` (or
     individual experiment names) and a bigger budget to reproduce everything.
-*)
+
+    [--json FILE] additionally writes every experiment's cells (times,
+    timeout flags, the four precision metrics and the engine's structured
+    metric snapshot) as one JSON document; bare [--json] writes one
+    BENCH_<experiment>.json per experiment instead. [--trace FILE] records a
+    Chrome trace_event timeline of the whole run. *)
 
 module Ir = Csc_ir.Ir
 module Run = Csc_driver.Run
+module Report = Csc_driver.Report
 module Suite = Csc_workloads.Suite
 module Metrics = Csc_clients.Metrics
 module Bits = Csc_common.Bits
 module Csc = Csc_core.Csc
+module Json = Csc_obs.Json
+module Trace = Csc_obs.Trace
 
 type config = {
   programs : string list;
@@ -29,8 +38,10 @@ type config = {
   doop_budget : float;  (* datalog engine, seconds *)
 }
 
-(* results are memoized so fig12/table1/table3 don't re-run analyses *)
-let cache : (string * string, Run.outcome) Hashtbl.t = Hashtbl.create 64
+(* results are memoized so fig12/table1/table3 don't re-run analyses; the
+   budget is part of the key so a re-run under a different budget (e.g. a
+   later experiment raising it) can't be served a stale timeout *)
+let cache : (string * string * float, Run.outcome) Hashtbl.t = Hashtbl.create 64
 let programs_cache : (string, Ir.program) Hashtbl.t = Hashtbl.create 16
 
 let program name =
@@ -42,16 +53,11 @@ let program name =
     p
 
 let outcome cfg pname analysis : Run.outcome =
-  let key = (pname, Run.name analysis) in
+  let budget = if Run.is_datalog analysis then cfg.doop_budget else cfg.budget in
+  let key = (pname, Run.name analysis, budget) in
   match Hashtbl.find_opt cache key with
   | Some o -> o
   | None ->
-    let budget =
-      match analysis with
-      | Run.Doop_ci | Doop_csc | Doop_2obj | Doop_2type | Doop_zipper ->
-        cfg.doop_budget
-      | _ -> cfg.budget
-    in
     Fmt.epr "  [%s / %s] ...@." pname (Run.name analysis);
     let o = Run.run ~budget_s:budget (program pname) analysis in
     (* keep full results only where a later experiment reads them (recall /
@@ -69,12 +75,11 @@ let outcome cfg pname analysis : Run.outcome =
     Gc.compact ();
     o
 
-let time_cell cfg (o : Run.outcome) =
+(* the budget shown for a timeout cell depends on the engine; dispatch on
+   the analysis variant, not on the rendered name *)
+let time_cell cfg (a : Run.analysis) (o : Run.outcome) =
   if o.o_timeout then
-    Fmt.str ">%.0fs"
-      (if String.length o.o_analysis >= 4 && String.sub o.o_analysis 0 4 = "doop"
-       then cfg.doop_budget
-       else cfg.budget)
+    Fmt.str ">%.0fs" (if Run.is_datalog a then cfg.doop_budget else cfg.budget)
   else Fmt.str "%.2f" o.o_time
 
 let metric_cells (o : Run.outcome) =
@@ -99,7 +104,7 @@ let efficiency_table cfg ~title (analyses : Run.analysis list) =
           let o = outcome cfg pname a in
           let fc, rm, pc, ce = metric_cells o in
           Fmt.pr "%-11s %-14s %9s %11s %11s %11s %11s@." pname o.o_analysis
-            (time_cell cfg o) fc rm pc ce)
+            (time_cell cfg a o) fc rm pc ce)
         analyses;
       Fmt.pr "@.")
     cfg.programs
@@ -133,7 +138,7 @@ let fig12 cfg =
           let o = outcome cfg pname a in
           let t = if o.o_timeout then cfg.doop_budget else o.o_time in
           let bar = int_of_float (10. *. log10 (1. +. (t *. 100.))) in
-          Fmt.pr "  %-14s %-8s |%s%s@." o.o_analysis (time_cell cfg o)
+          Fmt.pr "  %-14s %-8s |%s%s@." o.o_analysis (time_cell cfg a o)
             (String.make (max 1 bar) '#')
             (if o.o_timeout then "..." else ""))
         analyses)
@@ -165,8 +170,8 @@ let table3 cfg =
             | _ -> "-"
           in
           Fmt.pr "%-11s %-8s %9s %9.2f %9.2f %9d | %9s %9d %9s@." pname engine
-            (time_cell cfg zo) zo.o_pre_time zo.o_main_time selected
-            (time_cell cfg co) involved overlap)
+            (time_cell cfg zip_a zo) zo.o_pre_time zo.o_main_time selected
+            (time_cell cfg csc_a co) involved overlap)
         [ ("tai-e", Run.Imp_zipper, Run.Imp_csc);
           ("doop", Run.Doop_zipper, Run.Doop_csc) ])
     cfg.programs
@@ -201,17 +206,18 @@ let recall cfg =
 
 (* --------------------------------------------------------------- ablation *)
 
+let ablation_variants =
+  Csc.
+    [
+      ("field", { field_pattern = true; container_pattern = false; local_flow = false });
+      ("container", { field_pattern = false; container_pattern = true; local_flow = false });
+      ("localflow", { field_pattern = false; container_pattern = false; local_flow = true });
+    ]
+
 let ablation cfg =
   Fmt.pr
     "@.=== Pattern-impact study (§5.1): share of CSC's precision improvement ===@.";
-  let variants =
-    Csc.
-      [
-        ("field", { field_pattern = true; container_pattern = false; local_flow = false });
-        ("container", { field_pattern = false; container_pattern = true; local_flow = false });
-        ("localflow", { field_pattern = false; container_pattern = false; local_flow = true });
-      ]
-  in
+  let variants = ablation_variants in
   let clients =
     [
       ("#fail-cast", fun (m : Metrics.t) -> m.fail_cast);
@@ -272,15 +278,16 @@ let ablation cfg =
 
 (* Not in the paper: context-depth study on the programs where object
    sensitivity scales, showing the precision/cost curve CSC sidesteps. *)
+let kstudy_programs cfg =
+  List.filter
+    (fun p -> List.mem p [ "hsqldb"; "findbugs"; "eclipse"; "jedit" ])
+    cfg.programs
+
 let kstudy cfg =
   Fmt.pr "@.=== Extension: context-depth study (kobj) vs CSC ===@.";
   Fmt.pr "%-11s %-10s %9s %11s %11s@." "program" "analysis" "time(s)"
     "#fail-cast" "#call-edge";
-  let programs =
-    List.filter
-      (fun p -> List.mem p [ "hsqldb"; "findbugs"; "eclipse"; "jedit" ])
-      cfg.programs
-  in
+  let programs = kstudy_programs cfg in
   List.iter
     (fun pname ->
       List.iter
@@ -288,7 +295,7 @@ let kstudy cfg =
           let o = outcome cfg pname a in
           let fc, _, _, ce = metric_cells o in
           Fmt.pr "%-11s %-10s %9s %11s %11s@." pname o.o_analysis
-            (time_cell cfg o) fc ce)
+            (time_cell cfg a o) fc ce)
         [ Run.Imp_ci; Run.Imp_kobj 1; Run.Imp_2obj; Run.Imp_kobj 3; Run.Imp_csc ])
     programs
 
@@ -413,6 +420,49 @@ let micro () =
         ols)
     tests
 
+(* ------------------------------------------------------------ bench JSON *)
+
+let experiment_names =
+  [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation"; "kstudy";
+    "extras"; "checks"; "micro" ]
+
+(* the (program, analysis) cells each experiment reads. Serializing an
+   experiment maps its grid through the memo cache, so the report re-runs
+   nothing. micro has no analysis grid and is not serialized. *)
+let grid_of_experiment cfg exp : (string * Run.analysis) list =
+  let cross programs analyses =
+    List.concat_map (fun p -> List.map (fun a -> (p, a)) analyses) programs
+  in
+  match exp with
+  | "table2" ->
+    cross cfg.programs
+      [ Run.Imp_ci; Run.Imp_2obj; Run.Imp_2type; Run.Imp_zipper; Run.Imp_csc ]
+  | "table1" | "fig12" ->
+    cross cfg.programs
+      [ Run.Doop_ci; Run.Doop_2obj; Run.Doop_2type; Run.Doop_zipper;
+        Run.Doop_csc ]
+  | "table3" ->
+    cross cfg.programs
+      [ Run.Imp_zipper; Run.Imp_csc; Run.Doop_zipper; Run.Doop_csc ]
+  | "recall" -> cross cfg.programs [ Run.Imp_ci; Run.Imp_csc; Run.Doop_csc ]
+  | "ablation" ->
+    cross cfg.programs
+      (Run.Imp_ci :: Run.Imp_csc
+      :: List.map (fun (_, v) -> Run.Imp_csc_cfg v) ablation_variants)
+  | "kstudy" ->
+    cross (kstudy_programs cfg)
+      [ Run.Imp_ci; Run.Imp_kobj 1; Run.Imp_2obj; Run.Imp_kobj 3; Run.Imp_csc ]
+  | "extras" | "checks" -> cross cfg.programs [ Run.Imp_ci; Run.Imp_csc ]
+  | _ -> []
+
+let experiment_json cfg exp : Json.t option =
+  match grid_of_experiment cfg exp with
+  | [] -> None
+  | grid ->
+    Some
+      (Report.experiment_json ~name:exp
+         (List.map (fun (p, a) -> (p, outcome cfg p a)) grid))
+
 (* ------------------------------------------------------------------- main *)
 
 let () =
@@ -426,6 +476,27 @@ let () =
     in
     go args
   in
+  let string_value key =
+    let rec go = function
+      | k :: v :: _ when k = key && String.length v > 0 && v.[0] <> '-' ->
+        Some v
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  (* --json FILE = one document; bare --json = BENCH_<exp>.json per
+     experiment (an experiment name after --json is NOT a file) *)
+  let json_mode =
+    if not (has "--json") then None
+    else
+      match string_value "--json" with
+      | Some v when not (List.mem v ("all" :: experiment_names)) -> Some (Some v)
+      | _ -> Some None
+  in
+  (match string_value "--trace" with
+  | Some file -> Trace.start ~file
+  | None -> ());
   let quick = has "--quick" in
   let cfg =
     {
@@ -440,10 +511,7 @@ let () =
     List.filter
       (fun a -> not (String.length a > 1 && a.[0] = '-'))
       (List.filter (fun a -> a <> string_of_float cfg.budget) args)
-    |> List.filter (fun a ->
-           List.mem a
-             [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation";
-               "kstudy"; "extras"; "checks"; "micro"; "all" ])
+    |> List.filter (fun a -> List.mem a ("all" :: experiment_names))
   in
   let experiments =
     if experiments = [] || List.mem "all" experiments then
@@ -456,9 +524,10 @@ let () =
   Fmt.pr "cutshortcut bench: programs=[%s] budget=%.0fs doop-budget=%.0fs@."
     (String.concat ", " cfg.programs)
     cfg.budget cfg.doop_budget;
+  let reports = ref [] in
   List.iter
     (fun e ->
-      match e with
+      (match e with
       | "table2" -> table2 cfg
       | "table1" -> table1 cfg
       | "fig12" -> fig12 cfg
@@ -469,5 +538,23 @@ let () =
       | "extras" -> extras cfg
       | "checks" -> checks cfg
       | "micro" -> micro ()
-      | _ -> ())
-    experiments
+      | _ -> ());
+      if json_mode <> None then
+        match experiment_json cfg e with
+        | Some j -> reports := (e, j) :: !reports
+        | None -> ())
+    experiments;
+  (match json_mode with
+  | None -> ()
+  | Some (Some file) ->
+    Report.write_file file
+      (Json.Obj [ ("experiments", Json.List (List.rev_map snd !reports)) ]);
+    Fmt.epr "wrote %s@." file
+  | Some None ->
+    List.iter
+      (fun (e, j) ->
+        let file = "BENCH_" ^ e ^ ".json" in
+        Report.write_file file j;
+        Fmt.epr "wrote %s@." file)
+      (List.rev !reports));
+  Trace.finish ()

@@ -6,12 +6,18 @@
     - [run]       : execute a program with the concrete interpreter
     - [dump-ir]   : print the lowered IR
     - [analyze]   : run one or more pointer analyses, print time + metrics
+    - [explain]   : answer "why does x point to o" with derivation chains
     - [check]     : run the flow-sensitive checkers backed by an analysis
-    - [recall]    : the §5.1 recall experiment for one program *)
+    - [recall]    : the §5.1 recall experiment for one program
+
+    [--trace FILE] on the analysis commands records a Chrome trace_event
+    timeline of the phases (open in chrome://tracing or Perfetto). *)
 
 module Ir = Csc_ir.Ir
 module Run = Csc_driver.Run
 module Suite = Csc_workloads.Suite
+module Snapshot = Csc_obs.Snapshot
+module Trace = Csc_obs.Trace
 
 let load_program (spec : string) : Ir.program =
   if List.mem spec Suite.names then Suite.compile spec
@@ -59,17 +65,17 @@ let all_analysis_names =
 
 let print_outcome (o : Run.outcome) =
   if o.o_timeout then
-    Fmt.pr "%-14s TIMEOUT after %.1fs@." o.o_analysis o.o_time
+    Fmt.pr "%-14s TIMEOUT after %.1fs" o.o_analysis o.o_time
   else begin
     Fmt.pr "%-14s %8.3fs" o.o_analysis o.o_time;
-    (match o.o_metrics with
+    match o.o_metrics with
     | Some m -> Fmt.pr "  %a" Csc_clients.Metrics.pp m
-    | None -> ());
-    (match o.o_result with
-    | Some r -> Fmt.pr "  [%s]" r.r_stats
-    | None -> ());
-    Fmt.pr "@."
-  end
+    | None -> ()
+  end;
+  (match o.o_snapshot with
+  | Some s -> Fmt.pr "  [%s]" (Snapshot.to_line s)
+  | None -> ());
+  Fmt.pr "@."
 
 (* ------------------------------------------------------------- commands *)
 
@@ -88,6 +94,20 @@ let budget_opt b = if b <= 0. then None else Some b
 let validate_arg =
   let doc = "Validate the lowered IR before analyzing (fail fast on malformed IR)." in
   Arg.(value & flag & info [ "validate" ] ~doc)
+
+let trace_arg =
+  let doc =
+    "Record a Chrome trace_event timeline of the run to $(docv) (open in \
+     chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some file ->
+    Trace.start ~file;
+    Fun.protect ~finally:Trace.finish f
 
 let list_cmd =
   let run () =
@@ -141,7 +161,15 @@ let analyze_cmd =
     in
     Arg.(value & opt_all string [ "ci"; "csc" ] & info [ "analysis"; "a" ] ~doc)
   in
-  let run spec analyses budget validate =
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:
+               "Record points-to provenance (imperative engine; adds a \
+                prov_records counter to the snapshot).")
+  in
+  let run spec analyses budget validate explain trace =
+    with_trace trace @@ fun () ->
     let p = load_program spec in
     let s = Ir.stats p in
     Fmt.pr "program: %s (%a)@." spec Ir.pp_stats s;
@@ -151,13 +179,127 @@ let analyze_cmd =
     List.iter
       (fun a ->
         print_outcome
-          (Run.run ?budget_s:(budget_opt budget) ~validate p
+          (Run.run ?budget_s:(budget_opt budget) ~validate ~explain p
              (analysis_of_string a)))
       analyses
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
-    Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg)
+    Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg
+          $ explain $ trace_arg)
+
+(* --------------------------------------------------------------- explain *)
+
+module Solver = Csc_pta.Solver
+module Context = Csc_pta.Context
+
+(* [explain] drives the imperative solver directly: it needs the live solver
+   handle to walk provenance chains, which the driver does not expose *)
+let selector_of = function
+  | "ci" | "csc" | "csc-field" | "csc-container" | "csc-localflow" ->
+    Context.ci
+  | "1obj" -> Context.kobj ~k:1 ~hk:1
+  | "2obj" -> Context.kobj ~k:2 ~hk:1
+  | "3obj" -> Context.kobj ~k:3 ~hk:2
+  | "1type" -> Context.ktype ~k:1 ~hk:1
+  | "2type" -> Context.ktype ~k:2 ~hk:1
+  | "1call" -> Context.kcall ~k:1 ~hk:1
+  | "2call" -> Context.kcall ~k:2 ~hk:1
+  | s -> Fmt.failwith "explain: unsupported analysis %S (imperative only)" s
+
+let plugin_config_of = function
+  | "csc" -> Some Csc_core.Csc.default_config
+  | "csc-field" ->
+    Some
+      Csc_core.Csc.
+        { field_pattern = true; container_pattern = false; local_flow = false }
+  | "csc-container" ->
+    Some
+      Csc_core.Csc.
+        { field_pattern = false; container_pattern = true; local_flow = false }
+  | "csc-localflow" ->
+    Some
+      Csc_core.Csc.
+        { field_pattern = false; container_pattern = false; local_flow = true }
+  | _ -> None
+
+let is_suffix ~affix s =
+  let la = String.length affix and ls = String.length s in
+  la <= ls && String.sub s (ls - la) la = affix
+
+let explain_cmd =
+  let analysis =
+    Arg.(value & opt string "csc"
+         & info [ "analysis"; "a" ]
+             ~doc:"Imperative analysis to explain under (ci, csc, 2obj, ...).")
+  in
+  let var =
+    Arg.(value & opt (some string) None
+         & info [ "var" ] ~docv:"NAME"
+             ~doc:
+               "Explain only this variable; matched as a suffix of \
+                Class.method.var (e.g. Main.main.x or just main.x).")
+  in
+  let limit =
+    Arg.(value & opt int 5
+         & info [ "limit" ] ~doc:"Maximum number of facts explained.")
+  in
+  let run spec analysis var limit budget trace =
+    with_trace trace @@ fun () ->
+    let p = load_program spec in
+    let budget =
+      match budget_opt budget with
+      | Some s -> Csc_common.Timer.budget_of_seconds s
+      | None -> Csc_common.Timer.no_budget
+    in
+    let t = Solver.create ~budget ~sel:(selector_of analysis) p in
+    Solver.enable_provenance t;
+    (match plugin_config_of analysis with
+    | Some config -> Solver.set_plugin t (Csc_core.Csc.plugin ~config t)
+    | None -> ());
+    Solver.run t;
+    let matches v =
+      let vr = Ir.var p v in
+      match var with
+      | Some pat ->
+        is_suffix ~affix:pat (Ir.method_name p vr.Ir.v_method ^ "." ^ vr.Ir.v_name)
+      | None ->
+        (* scan mode: application variables only, the mini-JDK's internals
+           are noise *)
+        not
+          (Csc_lang.Jdk.is_jdk_class
+             (Ir.class_name p (Ir.metho p vr.Ir.v_method).Ir.m_class))
+    in
+    let shown = ref 0 in
+    Solver.iter_ptrs t (fun ptr desc ->
+        match desc with
+        | Solver.PVar (_, v) when !shown < limit && matches v ->
+          Csc_common.Bits.iter
+            (fun o ->
+              if !shown < limit then begin
+                incr shown;
+                Fmt.pr "why %s -> %s:@."
+                  (Solver.ptr_to_string t ptr)
+                  (Solver.obj_to_string t o);
+                (match Solver.explain_chain t ~ptr ~obj:o with
+                | [] -> Fmt.pr "  (no recorded derivation)@."
+                | lines -> List.iter (fun l -> Fmt.pr "  %s@." l) lines);
+                Fmt.pr "@."
+              end)
+            (Solver.pts t ptr)
+        | _ -> ());
+    if !shown = 0 then
+      Fmt.pr "no points-to facts matched%a@."
+        Fmt.(option (fmt " variable %S"))
+        var
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain points-to facts: print the derivation chain (provenance) \
+          of why a variable points to an object")
+    Term.(const run $ program_arg $ analysis $ var $ limit $ budget_arg
+          $ trace_arg)
 
 let check_cmd =
   let analysis =
@@ -180,7 +322,8 @@ let check_cmd =
     Arg.(value & flag
          & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
   in
-  let run spec analysis checks json include_jdk budget validate =
+  let run spec analysis checks json include_jdk budget validate trace =
+    with_trace trace @@ fun () ->
     let p = load_program spec in
     let o =
       Run.run ?budget_s:(budget_opt budget) ~validate p
@@ -209,7 +352,7 @@ let check_cmd =
          "Run the flow-sensitive checkers (null-deref, fail-cast, poly-call, \
           dead-store) backed by a pointer analysis")
     Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
-          $ budget_arg $ validate_arg)
+          $ budget_arg $ validate_arg $ trace_arg)
 
 let callgraph_cmd =
   let analysis =
@@ -269,7 +412,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "cutshortcut" ~version:"1.0.0"
        ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
-    [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; check_cmd;
-      recall_cmd; callgraph_cmd; pts_cmd ]
+    [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; explain_cmd;
+      check_cmd; recall_cmd; callgraph_cmd; pts_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

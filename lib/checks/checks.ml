@@ -63,7 +63,13 @@ let run_all ?(checks : string list option) ?(include_jdk = false)
               (String.concat ", " (List.map (fun c -> c.ck_name) all)))
         names
   in
-  let ds = List.concat_map (fun c -> c.ck_run p r) selected in
+  let ds =
+    List.concat_map
+      (fun c ->
+        Csc_obs.Trace.with_span ~cat:"checks" ("check:" ^ c.ck_name) (fun () ->
+            c.ck_run p r))
+      selected
+  in
   let ds =
     if include_jdk then ds
     else

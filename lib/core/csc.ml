@@ -32,6 +32,7 @@
 open Csc_common
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
+module Registry = Csc_obs.Registry
 
 type config = {
   field_pattern : bool;
@@ -104,6 +105,16 @@ type t = {
   involved : Bits.t;  (* methods touched by cut or shortcut edges *)
   mutable n_shortcuts : int;
   mutable n_cut_stores : int;
+  (* per-rule counters in the solver's registry: which pattern fired *)
+  c_sc_store : Registry.counter;
+  c_sc_load : Registry.counter;
+  c_sc_relay : Registry.counter;
+  c_sc_container : Registry.counter;
+  c_sc_lflow : Registry.counter;
+  c_cut_stores : Registry.counter;
+  c_cut_ret_load : Registry.counter;
+  c_cut_ret_lflow : Registry.counter;
+  c_cut_ret_exit : Registry.counter;
 }
 
 (* ----------------------------------------------------------- small utils *)
@@ -136,10 +147,12 @@ let mark_involved t ptr =
   | Some m -> ignore (Bits.add t.involved m)
   | None -> ()
 
-(** Add a shortcut edge (E_SC). *)
-let shortcut ?filter t ~src ~dst =
+(** Add a shortcut edge (E_SC); [rule] is the per-pattern counter of the
+    rule that emitted it. *)
+let shortcut ?filter t rule ~src ~dst =
   if src <> dst then begin
     t.n_shortcuts <- t.n_shortcuts + 1;
+    Registry.incr rule;
     mark_involved t src;
     mark_involved t dst;
     Solver.add_edge ~kind:Solver.KShortcut ?filter t.solver ~src ~dst
@@ -216,11 +229,12 @@ and fire_sub t (s : sub) (objs : Bits.t) =
       if Solver.obj_class t.solver o <> None then
         match s with
         | Sub_store { fld; from_ptr } ->
-          shortcut t ~src:from_ptr ~dst:(Solver.ptr_field t.solver ~obj:o ~fld)
+          shortcut t t.c_sc_store ~src:from_ptr
+            ~dst:(Solver.ptr_field t.solver ~obj:o ~fld)
         | Sub_load { fld; to_ptr; tag } ->
           let src = Solver.ptr_field t.solver ~obj:o ~fld in
           if tag then Hashtbl.replace t.tagged (src, to_ptr) ();
-          shortcut t ~src ~dst:to_ptr)
+          shortcut t t.c_sc_load ~src ~dst:to_ptr)
     objs
 
 (* ------------------------------------------------------------------ relay *)
@@ -241,7 +255,7 @@ let relay_in_edge t (m : Ir.method_id) ~(src : int) ~(filter : Ir.typ option) =
   let r = relay_of t m in
   if not (List.mem (src, filter) r.rl_in_edges) then begin
     r.rl_in_edges <- (src, filter) :: r.rl_in_edges;
-    List.iter (fun lhs -> shortcut ?filter t ~src ~dst:lhs) r.rl_lhs
+    List.iter (fun lhs -> shortcut ?filter t t.c_sc_relay ~src ~dst:lhs) r.rl_lhs
   end
 
 let relay_call_site t (m : Ir.method_id) (lhs_ptr : int) =
@@ -249,15 +263,15 @@ let relay_call_site t (m : Ir.method_id) (lhs_ptr : int) =
   if not (List.mem lhs_ptr r.rl_lhs) then begin
     r.rl_lhs <- lhs_ptr :: r.rl_lhs;
     List.iter
-      (fun (src, filter) -> shortcut ?filter t ~src ~dst:lhs_ptr)
+      (fun (src, filter) -> shortcut ?filter t t.c_sc_relay ~src ~dst:lhs_ptr)
       r.rl_in_edges;
-    Solver.seed t.solver lhs_ptr (Bits.copy r.rl_seeds)
+    Solver.seed ~why:"relay" t.solver lhs_ptr (Bits.copy r.rl_seeds)
   end
 
 let relay_seed t (m : Ir.method_id) (o : int) =
   let r = relay_of t m in
   if Bits.add r.rl_seeds o then
-    List.iter (fun lhs -> Solver.seed1 t.solver lhs o) r.rl_lhs
+    List.iter (fun lhs -> Solver.seed1 ~why:"relay" t.solver lhs o) r.rl_lhs
 
 (* ------------------------------------------------------ container pattern *)
 
@@ -274,7 +288,7 @@ let rec add_source t host cat (src_ptr : int) =
   if not (List.mem src_ptr !srcs) then begin
     srcs := src_ptr :: !srcs;
     List.iter
-      (fun tgt -> shortcut t ~src:src_ptr ~dst:tgt)
+      (fun tgt -> shortcut t t.c_sc_container ~src:src_ptr ~dst:tgt)
       !(get_list t.targets (host, cat))
   end
 
@@ -283,7 +297,7 @@ and add_target t host cat (tgt_ptr : int) =
   if not (List.mem tgt_ptr !tgts) then begin
     tgts := tgt_ptr :: !tgts;
     List.iter
-      (fun src -> shortcut t ~src ~dst:tgt_ptr)
+      (fun src -> shortcut t t.c_sc_container ~src ~dst:tgt_ptr)
       !(get_list t.sources (host, cat))
   end
 
@@ -331,7 +345,7 @@ let apply_lflow t (site : Ir.call_id) (callee : Ir.method_id) =
       (fun k ->
         match Static.arg_at t.prog cs k with
         | Some arg when Ir.is_ref_type (Ir.var t.prog arg).v_ty ->
-          shortcut t ~src:(ptr_var t arg) ~dst:lhs_ptr
+          shortcut t t.c_sc_lflow ~src:(ptr_var t arg) ~dst:lhs_ptr
         | _ -> ())
       srcs
   | _ -> ()
@@ -497,9 +511,19 @@ let on_edge t ~(src : int) (e : Solver.edge) =
 (* ---------------------------------------------------------------- public *)
 
 let is_cut_return t (m : Ir.method_id) : bool =
-  (t.cfg.field_pattern && Bits.mem t.cut_load m)
-  || (t.cfg.local_flow && Bits.mem t.cut_lflow m)
-  || (t.cfg.container_pattern && Spec.is_exit t.spec m)
+  if t.cfg.field_pattern && Bits.mem t.cut_load m then begin
+    Registry.incr t.c_cut_ret_load;
+    true
+  end
+  else if t.cfg.local_flow && Bits.mem t.cut_lflow m then begin
+    Registry.incr t.c_cut_ret_lflow;
+    true
+  end
+  else if t.cfg.container_pattern && Spec.is_exit t.spec m then begin
+    Registry.incr t.c_cut_ret_exit;
+    true
+  end
+  else false
 
 let is_cut_store t ~base ~fld ~rhs : bool =
   ignore fld;
@@ -507,6 +531,7 @@ let is_cut_store t ~base ~fld ~rhs : bool =
   && Static.is_cut_store t.prog ~base ~rhs
   &&
   (t.n_cut_stores <- t.n_cut_stores + 1;
+   Registry.incr t.c_cut_stores;
    ignore (Bits.add t.involved (Ir.var t.prog base).v_method);
    true)
 
@@ -558,6 +583,39 @@ let plugin_with_handle ?(config = default_config) (solver : Solver.t) :
       involved = Bits.create ();
       n_shortcuts = 0;
       n_cut_stores = 0;
+      c_sc_store =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "store") ]
+          "csc_shortcuts";
+      c_sc_load =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "load") ]
+          "csc_shortcuts";
+      c_sc_relay =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "relay") ]
+          "csc_shortcuts";
+      c_sc_container =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "container") ]
+          "csc_shortcuts";
+      c_sc_lflow =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "lflow") ]
+          "csc_shortcuts";
+      c_cut_stores = Registry.counter solver.Solver.reg "csc_cut_stores";
+      c_cut_ret_load =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "load") ]
+          "csc_cut_returns";
+      c_cut_ret_lflow =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "lflow") ]
+          "csc_cut_returns";
+      c_cut_ret_exit =
+        Registry.counter solver.Solver.reg
+          ~labels:[ ("pattern", "exit") ]
+          "csc_cut_returns";
     }
   in
   ( {

@@ -12,7 +12,15 @@ open Csc_common
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 module E = Engine
+module Snapshot = Csc_obs.Snapshot
 open E
+
+(* the Datalog engines expose a small fixed metric set; building the
+   snapshot directly keeps them registry-free *)
+let dl_snapshot (t : E.t) ~time : Snapshot.t =
+  Snapshot.of_metrics
+    [ Snapshot.Counter { name = "derived"; labels = []; value = E.derived_count t };
+      Snapshot.Gauge { name = "time_s"; labels = []; value = time } ]
 
 let v x = V x
 let c x = C x
@@ -375,7 +383,7 @@ let result_of_ci (t : E.t) (p : Ir.program) ~name ~time : Solver.result =
     r_edges = !edges;
     r_pt =
       (fun vr -> match Hashtbl.find_opt var_pt vr with Some b -> b | None -> empty);
-    r_stats = Printf.sprintf "derived=%d" (E.derived_count t);
+    r_snapshot = dl_snapshot t ~time;
   }
 
 let result_of_cs (t : E.t) (objs : (int * int) Interner.t) ~name ~time :
@@ -404,7 +412,7 @@ let result_of_cs (t : E.t) (objs : (int * int) Interner.t) ~name ~time :
     r_edges = Hashtbl.fold (fun k () acc -> k :: acc) edge_set [];
     r_pt =
       (fun vr -> match Hashtbl.find_opt var_pt vr with Some b -> b | None -> empty);
-    r_stats = Printf.sprintf "derived=%d" (E.derived_count t);
+    r_snapshot = dl_snapshot t ~time;
   }
 
 exception Timeout = Timer.Out_of_budget

@@ -1,0 +1,46 @@
+(** Machine-readable reports: serialize driver outcomes as JSON. Shared by
+    [bench --json] and the CLI so the two emit identical shapes. *)
+
+module Json = Csc_obs.Json
+module Snapshot = Csc_obs.Snapshot
+module Metrics = Csc_clients.Metrics
+
+let metrics_json (m : Metrics.t) : Json.t =
+  Obj
+    [ ("fail_cast", Json.Int m.fail_cast);
+      ("reach_mtd", Json.Int m.reach_mtd);
+      ("poly_call", Json.Int m.poly_call);
+      ("call_edge", Json.Int m.call_edge) ]
+
+let opt f = function None -> Json.Null | Some x -> f x
+
+let outcome_json (o : Run.outcome) : Json.t =
+  Obj
+    [ ("analysis", Json.Str o.o_analysis);
+      ("timeout", Json.Bool o.o_timeout);
+      ("time_s", Json.Float o.o_time);
+      ("pre_time_s", Json.Float o.o_pre_time);
+      ("main_time_s", Json.Float o.o_main_time);
+      ("metrics", opt metrics_json o.o_metrics);
+      ("shortcuts", Json.Int o.o_shortcuts);
+      ("snapshot", opt Snapshot.to_json o.o_snapshot) ]
+
+(** One experiment: its name plus the (program, analysis) cells it ran. *)
+let cell_json ~program (o : Run.outcome) : Json.t =
+  match outcome_json o with
+  | Obj fields -> Obj (("program", Json.Str program) :: fields)
+  | j -> j
+
+let experiment_json ~name (cells : (string * Run.outcome) list) : Json.t =
+  Obj
+    [ ("experiment", Json.Str name);
+      ("cells", Json.List (List.map (fun (p, o) -> cell_json ~program:p o) cells))
+    ]
+
+let write_file path (j : Json.t) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true j);
+      output_char oc '\n')

@@ -1,0 +1,20 @@
+(** Machine-readable reports: serialize driver outcomes as JSON. Shared by
+    [bench --json] and the CLI so both emit the same shape: each cell carries
+    the wall-clock times, the timeout flag, the four precision metrics and
+    the engine's structured metric {!Csc_obs.Snapshot} — no preformatted stat
+    strings. *)
+
+module Json = Csc_obs.Json
+module Metrics = Csc_clients.Metrics
+
+val metrics_json : Metrics.t -> Json.t
+val outcome_json : Run.outcome -> Json.t
+
+(** {!outcome_json} with a ["program"] field prepended. *)
+val cell_json : program:string -> Run.outcome -> Json.t
+
+(** [{"experiment": name, "cells": [...]}] over (program, outcome) pairs. *)
+val experiment_json : name:string -> (string * Run.outcome) list -> Json.t
+
+(** Write pretty-printed JSON plus a trailing newline. *)
+val write_file : string -> Json.t -> unit

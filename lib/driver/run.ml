@@ -9,6 +9,8 @@ module Context = Csc_pta.Context
 module Csc = Csc_core.Csc
 module Metrics = Csc_clients.Metrics
 module Dl = Csc_datalog.Analysis
+module Snapshot = Csc_obs.Snapshot
+module Trace = Csc_obs.Trace
 
 (** The analyses of the paper's evaluation, on both engines. [Imp_*] run on
     the imperative engine (Tai-e analog, Table 2), [Doop_*] on the Datalog
@@ -50,6 +52,12 @@ let name = function
 let all_imperative = [ Imp_ci; Imp_csc; Imp_2obj; Imp_2type; Imp_zipper ]
 let all_datalog = [ Doop_ci; Doop_csc; Doop_2obj; Doop_2type; Doop_zipper ]
 
+let is_datalog = function
+  | Doop_ci | Doop_csc | Doop_2obj | Doop_2type | Doop_zipper -> true
+  | Imp_ci | Imp_csc | Imp_csc_cfg _ | Imp_kobj _ | Imp_ktype _ | Imp_kcall _
+  | Imp_2obj | Imp_2type | Imp_2call | Imp_zipper ->
+    false
+
 type outcome = {
   o_analysis : string;
   o_timeout : bool;
@@ -61,9 +69,11 @@ type outcome = {
   o_selected : Bits.t option;   (** Zipper: selected methods *)
   o_involved : Bits.t option;   (** CSC: methods in cut/shortcut edges *)
   o_shortcuts : int;
+  o_snapshot : Snapshot.t option;
+      (** engine metrics; present even on imperative-engine timeouts *)
 }
 
-let timeout_outcome analysis elapsed =
+let timeout_outcome ?snapshot analysis elapsed =
   {
     o_analysis = name analysis;
     o_timeout = true;
@@ -75,10 +85,15 @@ let timeout_outcome analysis elapsed =
     o_selected = None;
     o_involved = None;
     o_shortcuts = 0;
+    o_snapshot = snapshot;
   }
 
 let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     (r : Solver.result) total_time =
+  let metrics =
+    Trace.with_span ~cat:"driver" "client-metrics" (fun () ->
+        Metrics.compute p r)
+  in
   {
     o_analysis = name analysis;
     o_timeout = false;
@@ -86,18 +101,19 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     o_pre_time = pre_time;
     o_main_time = total_time -. pre_time;
     o_result = Some r;
-    o_metrics = Some (Metrics.compute p r);
+    o_metrics = Some metrics;
     o_selected = selected;
     o_involved = involved;
     o_shortcuts = shortcuts;
+    o_snapshot = Some r.Solver.r_snapshot;
   }
 
 (** Run one analysis under an optional time budget (seconds). Timeouts are
     reported in the outcome, not raised — like the paper's ">2h" cells.
     [validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR fails
     fast instead of silently corrupting analysis results. *)
-let run ?budget_s ?(validate = false) (p : Ir.program) (analysis : analysis) :
-    outcome =
+let run ?budget_s ?(validate = false) ?(explain = false) (p : Ir.program)
+    (analysis : analysis) : outcome =
   if validate then Csc_ir.Validate.check_exn p;
   let budget =
     match budget_s with
@@ -106,10 +122,20 @@ let run ?budget_s ?(validate = false) (p : Ir.program) (analysis : analysis) :
   in
   let t0 = Timer.now () in
   let elapsed () = Timer.now () -. t0 in
+  (* built via create/run (not [Solver.analyze]) to keep the solver handle:
+     the timeout path still snapshots the aborted engine state *)
+  let solve ?plugin_of sel =
+    let t = Solver.create ~budget ~sel p in
+    if explain then Solver.enable_provenance t;
+    (match plugin_of with Some f -> Solver.set_plugin t (f t) | None -> ());
+    match Solver.run t with
+    | () -> Ok t
+    | exception Solver.Timeout -> Error (Solver.snapshot t)
+  in
   let imperative ?plugin_of sel finish =
-    match Solver.analyze ~budget ~sel ?plugin_of p with
-    | t -> finish (Solver.result t)
-    | exception Solver.Timeout -> timeout_outcome analysis (elapsed ())
+    match solve ?plugin_of sel with
+    | Ok t -> finish (Solver.result t)
+    | Error snapshot -> timeout_outcome ~snapshot analysis (elapsed ())
   in
   match analysis with
   | Imp_ci ->
@@ -150,11 +176,14 @@ let run ?budget_s ?(validate = false) (p : Ir.program) (analysis : analysis) :
         of_result analysis p r (elapsed ()))
   | Imp_zipper -> (
     (* pre-analysis (CI) + selection, then selective 2obj *)
-    match Solver.analyze ~budget p with
-    | exception Solver.Timeout -> timeout_outcome analysis (elapsed ())
-    | pre ->
+    match solve Context.ci with
+    | Error snapshot -> timeout_outcome ~snapshot analysis (elapsed ())
+    | Ok pre ->
       let pre_r = Solver.result pre in
-      let sel = Zipper.select p pre_r in
+      let sel =
+        Trace.with_span ~cat:"driver" "zipper-select" (fun () ->
+            Zipper.select p pre_r)
+      in
       let pre_time = elapsed () in
       let selector =
         Context.selective ~selected:sel.Zipper.selected
@@ -171,16 +200,27 @@ let run ?budget_s ?(validate = false) (p : Ir.program) (analysis : analysis) :
       | Doop_2obj -> Dl.Obj2
       | _ -> Dl.Type2
     in
-    match Dl.run ~budget p kind with
+    let dl_run kind =
+      Trace.with_span ~cat:"driver" ("datalog:" ^ Dl.kind_name kind) (fun () ->
+          Dl.run ~budget p kind)
+    in
+    match dl_run kind with
     | r -> of_result analysis p r (elapsed ())
     | exception Dl.Timeout -> timeout_outcome analysis (elapsed ()))
   | Doop_zipper -> (
-    match Dl.run ~budget p Dl.Ci with
+    let dl_run kind =
+      Trace.with_span ~cat:"driver" ("datalog:" ^ Dl.kind_name kind) (fun () ->
+          Dl.run ~budget p kind)
+    in
+    match dl_run Dl.Ci with
     | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())
     | pre_r -> (
-      let sel = Zipper.select p pre_r in
+      let sel =
+        Trace.with_span ~cat:"driver" "zipper-select" (fun () ->
+            Zipper.select p pre_r)
+      in
       let pre_time = elapsed () in
-      match Dl.run ~budget p (Dl.Selective2obj sel.Zipper.selected) with
+      match dl_run (Dl.Selective2obj sel.Zipper.selected) with
       | r ->
         of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
           (elapsed ())

@@ -32,6 +32,10 @@ val name : analysis -> string
 val all_imperative : analysis list
 val all_datalog : analysis list
 
+(** True for the Doop-engine analyses (their times are not comparable with
+    the imperative engine's; dispatch on this, not on name prefixes). *)
+val is_datalog : analysis -> bool
+
 type outcome = {
   o_analysis : string;
   o_timeout : bool;
@@ -43,6 +47,9 @@ type outcome = {
   o_selected : Bits.t option;  (** Zipper: selected methods *)
   o_involved : Bits.t option;  (** CSC: methods in cut/shortcut edges *)
   o_shortcuts : int;
+  o_snapshot : Csc_obs.Snapshot.t option;
+      (** structured engine metrics; present even when the imperative engine
+          timed out (the aborted state), [None] only for Datalog timeouts *)
 }
 
 (** Run one analysis under an optional wall-clock budget (seconds; a 4 GB
@@ -50,8 +57,16 @@ type outcome = {
     raised — like the paper's ">2h" cells. [validate] (default false) runs
     {!Csc_ir.Validate.check_exn} on the program first, so malformed IR fails
     fast (raising [Failure]) instead of corrupting analysis results; the
-    test suite keeps it always on. *)
-val run : ?budget_s:float -> ?validate:bool -> Ir.program -> analysis -> outcome
+    test suite keeps it always on. [explain] (default false) records
+    points-to provenance on the imperative engine (adds a [prov_records]
+    counter to the snapshot); it has no effect on Doop analyses. *)
+val run :
+  ?budget_s:float ->
+  ?validate:bool ->
+  ?explain:bool ->
+  Ir.program ->
+  analysis ->
+  outcome
 
 type recall_report = {
   rc_analysis : string;

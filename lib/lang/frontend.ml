@@ -7,7 +7,8 @@
 let compile ?(with_jdk = true) (sources : (string * string) list) :
     Csc_ir.Ir.program =
   let sources = if with_jdk then ("jdk", Jdk.source) :: sources else sources in
-  Resolver.compile sources
+  Csc_obs.Trace.with_span ~cat:"frontend" "compile" (fun () ->
+      Resolver.compile sources)
 
 (** Convenience for a single compilation unit. *)
 let compile_string ?with_jdk ?(name = "input") src =

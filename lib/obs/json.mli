@@ -1,0 +1,44 @@
+(** A minimal JSON tree with a printer and a parser.
+
+    The repo deliberately carries no external JSON dependency; this module is
+    the single JSON substrate shared by metric snapshots, trace files, bench
+    reports and the diagnostics of [csc_checks]-style clients. The printer
+    emits floats so that they re-parse to the identical IEEE value, which is
+    what makes [Snapshot.of_json (Snapshot.to_json s) = s] hold exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** printed with a ['.'] or exponent, never as an int *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact by default; [~pretty:true] indents with two spaces. Non-finite
+    floats are not representable in JSON and print as [null]. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** Append the compact form. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** Escape a string body (no surrounding quotes). *)
+val escape : string -> string
+
+(** Parse one JSON document (trailing whitespace allowed). *)
+val parse : string -> (t, string) result
+
+(** Like {!parse}; raises [Failure] with a position message. *)
+val parse_exn : string -> t
+
+(** {2 Accessors} — shallow, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val get_int : t -> int option
+
+(** Accepts [Int] too. *)
+val get_float : t -> float option
+
+val get_string : t -> string option
+val get_list : t -> t list option
+val get_bool : t -> bool option

@@ -1,0 +1,42 @@
+type reason = Seed of { label : string } | Flow of { src : int; via : string }
+
+type t = {
+  pts : (int * int, reason) Hashtbl.t;  (* (ptr, obj) -> first derivation *)
+  calls : (int * int, int option) Hashtbl.t;  (* (site, callee) -> receiver *)
+}
+
+let create () = { pts = Hashtbl.create 4096; calls = Hashtbl.create 256 }
+
+let record_seed t ~ptr ~obj ~label =
+  if not (Hashtbl.mem t.pts (ptr, obj)) then
+    Hashtbl.add t.pts (ptr, obj) (Seed { label })
+
+let record_flow t ~ptr ~obj ~src ~via =
+  if not (Hashtbl.mem t.pts (ptr, obj)) then
+    Hashtbl.add t.pts (ptr, obj) (Flow { src; via })
+
+let record_call t ~site ~callee ~recv =
+  if not (Hashtbl.mem t.calls (site, callee)) then
+    Hashtbl.add t.calls (site, callee) recv
+
+let reason t ~ptr ~obj = Hashtbl.find_opt t.pts (ptr, obj)
+let call_reason t ~site ~callee = Hashtbl.find_opt t.calls (site, callee)
+
+let chain ?(limit = 64) t ~ptr ~obj : (int * reason) list =
+  let visited = Hashtbl.create 16 in
+  let rec go acc p n =
+    if n >= limit || Hashtbl.mem visited p then List.rev acc
+    else begin
+      Hashtbl.add visited p ();
+      match Hashtbl.find_opt t.pts (p, obj) with
+      | None -> List.rev acc
+      | Some (Seed _ as r) -> List.rev ((p, r) :: acc)
+      | Some (Flow { src; _ } as r) -> go ((p, r) :: acc) src (n + 1)
+    end
+  in
+  go [] ptr 0
+
+let iter_calls t f =
+  Hashtbl.iter (fun (site, callee) recv -> f ~site ~callee ~recv) t.calls
+
+let size t = Hashtbl.length t.pts + Hashtbl.length t.calls

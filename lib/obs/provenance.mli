@@ -1,0 +1,45 @@
+(** A first-derivation recorder for fixpoint engines.
+
+    The solver (opt-in, [--explain]) records, for every points-to fact
+    [(ptr, obj)] and call edge [(site, callee)], the event that first derived
+    it. Because facts only enter the engine through recorded events and the
+    first record wins, following {!reason} parents always terminates in a
+    {!reason.Seed}, giving a (worklist-order, hence near-shortest) derivation
+    chain — the "why does [x] point to [o]" answer Doop and Tai-e users get
+    from their provenance tooling.
+
+    Identifiers are opaque ints (pointer ids, object ids, site ids); the
+    engine renders them. *)
+
+type reason =
+  | Seed of { label : string }
+      (** the fact entered directly: ["alloc"], ["receiver"], ["relay"] … *)
+  | Flow of { src : int; via : string }
+      (** flowed from pointer [src] along a PFG edge of kind [via] *)
+
+type t
+
+val create : unit -> t
+
+(** First write wins; later records of the same fact are ignored. *)
+val record_seed : t -> ptr:int -> obj:int -> label:string -> unit
+
+val record_flow : t -> ptr:int -> obj:int -> src:int -> via:string -> unit
+
+(** First deriving receiver for a call edge ([recv = None] for static
+    calls). *)
+val record_call : t -> site:int -> callee:int -> recv:int option -> unit
+
+val reason : t -> ptr:int -> obj:int -> reason option
+val call_reason : t -> site:int -> callee:int -> int option option
+
+(** Derivation chain from [(ptr, obj)] back to its seed: the queried pointer
+    first. Empty if the fact was never recorded; truncated at [limit]
+    (default 64) or on a (theoretically impossible) cycle. *)
+val chain : ?limit:int -> t -> ptr:int -> obj:int -> (int * reason) list
+
+(** All recorded call edges, unordered: (site, callee, receiver). *)
+val iter_calls : t -> (site:int -> callee:int -> recv:int option -> unit) -> unit
+
+(** Number of recorded facts (points-to + call edges). *)
+val size : t -> int

@@ -1,0 +1,79 @@
+type state = { file : string; t0 : float; buf : Buffer.t; mutable n : int }
+
+let state : state option ref = ref None
+
+let start ~file =
+  state := Some { file; t0 = Unix.gettimeofday (); buf = Buffer.create 4096; n = 0 }
+
+let active () = !state <> None
+
+let ts st = (Unix.gettimeofday () -. st.t0) *. 1e6
+
+let emit st (fields : (string * Json.t) list) =
+  if st.n > 0 then Buffer.add_string st.buf ",\n";
+  st.n <- st.n + 1;
+  Json.to_buffer st.buf (Json.Obj fields)
+
+let common name ph ~ts:t =
+  [
+    ("name", Json.Str name);
+    ("ph", Json.Str ph);
+    ("ts", Json.Float t);
+    ("pid", Json.Int 1);
+    ("tid", Json.Int 1);
+  ]
+
+let with_span ?cat ?(args = []) name f =
+  match !state with
+  | None -> f ()
+  | Some st ->
+    let t_start = ts st in
+    let finish () =
+      let dur = ts st -. t_start in
+      emit st
+        (common name "X" ~ts:t_start
+        @ [ ("dur", Json.Float dur) ]
+        @ (match cat with Some c -> [ ("cat", Json.Str c) ] | None -> [])
+        @ if args = [] then [] else [ ("args", Json.Obj args) ])
+    in
+    Fun.protect ~finally:finish f
+
+let instant ?(args = []) name =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st
+      (common name "i" ~ts:(ts st)
+      @ [ ("s", Json.Str "t") ]
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+
+let counter name series =
+  match !state with
+  | None -> ()
+  | Some st ->
+    emit st
+      (common name "C" ~ts:(ts st)
+      @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) series)) ])
+
+let sample_gc () =
+  match !state with
+  | None -> ()
+  | Some _ ->
+    let s = Gc.quick_stat () in
+    counter "gc"
+      [
+        ("heap_MB", float_of_int (s.Gc.heap_words * (Sys.word_size / 8)) /. 1e6);
+        ("major_collections", float_of_int s.Gc.major_collections);
+        ("minor_collections", float_of_int s.Gc.minor_collections);
+      ]
+
+let finish () =
+  match !state with
+  | None -> ()
+  | Some st ->
+    state := None;
+    let oc = open_out st.file in
+    output_string oc "{\"traceEvents\":[\n";
+    output_string oc (Buffer.contents st.buf);
+    output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n";
+    close_out oc

@@ -1,0 +1,35 @@
+(** A process-wide span tracer emitting Chrome [trace_event] JSON.
+
+    [--trace FILE] on the CLIs calls {!start}; instrumented phases wrap work
+    in {!with_span}; {!finish} writes the file. The output loads directly in
+    [chrome://tracing] / Perfetto / [about:tracing] viewers (an object with a
+    ["traceEvents"] array of complete ["ph":"X"] events, timestamps in
+    microseconds).
+
+    When tracing is inactive every operation is a single branch, so
+    instrumentation can stay on unconditionally in library code. *)
+
+(** Reset the buffer and start recording; events are written to [file] by
+    {!finish}. *)
+val start : file:string -> unit
+
+val active : unit -> bool
+
+(** [with_span name f] times [f ()] as a complete event. Exceptions
+    propagate; the span still closes. [args] appear in the viewer's detail
+    pane. *)
+val with_span : ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+
+(** A zero-duration instant event. *)
+val instant : ?args:(string * Json.t) list -> string -> unit
+
+(** A ["ph":"C"] counter event — series plotted over time. *)
+val counter : string -> (string * float) list -> unit
+
+(** Emit a ["gc"] counter event with major-heap words and collection counts
+    (no-op when inactive). Cheap enough for solver-loop cadence. *)
+val sample_gc : unit -> unit
+
+(** Write the trace file and stop recording. No-op if {!start} was never
+    called. *)
+val finish : unit -> unit

@@ -10,6 +10,10 @@
 
 open Csc_common
 module Ir = Csc_ir.Ir
+module Registry = Csc_obs.Registry
+module Snapshot = Csc_obs.Snapshot
+module Prov = Csc_obs.Provenance
+module Trace = Csc_obs.Trace
 
 (* ------------------------------------------------------------- pointers *)
 
@@ -66,15 +70,6 @@ type watch =
 
 (* ---------------------------------------------------------------- state *)
 
-type stats = {
-  mutable st_ptrs : int;
-  mutable st_edges : int;
-  mutable st_prop : int;         (** total objects propagated *)
-  mutable st_call_edges : int;   (** context-full call edges *)
-  mutable st_reach_ctx : int;    (** (ctx, method) pairs *)
-  mutable st_time : float;
-}
-
 type t = {
   prog : Ir.program;
   sel : Context.t;
@@ -96,7 +91,17 @@ type t = {
   reached_methods : Bits.t;
   call_edges : (int * Ir.call_id * int * Ir.method_id, unit) Hashtbl.t;
   call_edges_proj : (Ir.call_id * Ir.method_id, unit) Hashtbl.t;
-  stats : stats;
+  (* observability: the registry owns all engine metrics; the handles below
+     are direct-mutation aliases so hot-path updates cost a field write *)
+  reg : Registry.t;
+  c_ptrs : Registry.counter;
+  c_edges : Registry.counter;
+  c_prop : Registry.counter;        (* total objects propagated *)
+  c_call_edges : Registry.counter;  (* context-full call edges *)
+  c_reach_ctx : Registry.counter;   (* (ctx, method) pairs *)
+  g_time : Registry.gauge;
+  g_heap : Registry.gauge;          (* peak major-heap words observed *)
+  mutable prov : Prov.t option;     (* opt-in derivation recorder *)
 }
 
 exception Timeout
@@ -107,6 +112,7 @@ module Log = (val Logs.src_log log_src)
 
 let create ?(budget = Timer.no_budget) ?(sel = Context.ci) (prog : Ir.program) : t
     =
+  let reg = Registry.create () in
   {
     prog;
     sel;
@@ -124,12 +130,25 @@ let create ?(budget = Timer.no_budget) ?(sel = Context.ci) (prog : Ir.program) :
     reached_methods = Bits.create ();
     call_edges = Hashtbl.create 1024;
     call_edges_proj = Hashtbl.create 1024;
-    stats =
-      { st_ptrs = 0; st_edges = 0; st_prop = 0; st_call_edges = 0;
-        st_reach_ctx = 0; st_time = 0. };
+    reg;
+    c_ptrs = Registry.counter reg "ptrs";
+    c_edges = Registry.counter reg "pfg_edges";
+    c_prop = Registry.counter reg "propagated";
+    c_call_edges = Registry.counter reg "cs_call_edges";
+    c_reach_ctx = Registry.counter reg "ctx_methods";
+    g_time = Registry.gauge reg "time_s";
+    g_heap = Registry.gauge reg "heap_words_peak";
+    prov = None;
   }
 
 let set_plugin t p = t.plugin <- p
+
+(** Start recording derivations. Must be called before {!run} to get complete
+    chains; idempotent. *)
+let enable_provenance t =
+  if t.prov = None then t.prov <- Some (Prov.create ())
+
+let provenance t = t.prov
 
 (* environment handed to context selectors *)
 let env_of t : Context.env =
@@ -150,7 +169,7 @@ let intern_ptr t d : int =
     Vec.push t.pts (Bits.create ~capacity:8 ());
     Vec.push t.succs [];
     Vec.push t.watches [];
-    t.stats.st_ptrs <- t.stats.st_ptrs + 1
+    Registry.incr t.c_ptrs
   end;
   id
 
@@ -185,6 +204,20 @@ let filter_delta t (filter : Ir.typ option) (delta : Bits.t) : Bits.t =
 let wl_push t p (objs : Bits.t) =
   if not (Bits.is_empty objs) then Queue.push (p, objs) t.wl
 
+let via_of_kind = function
+  | KNormal -> "flow"
+  | KReturn _ -> "return"
+  | KShortcut -> "shortcut"
+
+(* record a flow derivation for every object about to be pushed to [dst];
+   a single branch when provenance is off *)
+let prov_flow t ~src ~dst kind (objs : Bits.t) =
+  match t.prov with
+  | None -> ()
+  | Some pr ->
+    let via = via_of_kind kind in
+    Bits.iter (fun o -> Prov.record_flow pr ~ptr:dst ~obj:o ~src ~via) objs
+
 (** Add an edge src->dst to the PFG; existing points-to facts of [src] flow
     immediately. No-op if the edge exists. *)
 let add_edge ?(kind = KNormal) ?filter t ~src ~dst =
@@ -192,15 +225,27 @@ let add_edge ?(kind = KNormal) ?filter t ~src ~dst =
     Hashtbl.add t.edge_seen (src, dst) ();
     let e = { e_dst = dst; e_filter = filter; e_kind = kind } in
     Vec.set t.succs src (e :: Vec.get t.succs src);
-    t.stats.st_edges <- t.stats.st_edges + 1;
+    Registry.incr t.c_edges;
     t.plugin.pl_on_edge ~src e;
     let cur = pts t src in
-    if not (Bits.is_empty cur) then wl_push t dst (filter_delta t filter cur)
+    if not (Bits.is_empty cur) then begin
+      let d = filter_delta t filter cur in
+      prov_flow t ~src ~dst kind d;
+      wl_push t dst d
+    end
   end
 
-let seed t p (objs : Bits.t) = wl_push t p objs
+let seed ?(why = "seed") t p (objs : Bits.t) =
+  (match t.prov with
+  | None -> ()
+  | Some pr ->
+    Bits.iter (fun o -> Prov.record_seed pr ~ptr:p ~obj:o ~label:why) objs);
+  wl_push t p objs
 
-let seed1 t p o =
+let seed1 ?(why = "seed") t p o =
+  (match t.prov with
+  | None -> ()
+  | Some pr -> Prov.record_seed pr ~ptr:p ~obj:o ~label:why);
   let b = Bits.create () in
   ignore (Bits.add b o);
   wl_push t p b
@@ -213,10 +258,10 @@ let add_watch t p w =
 let rec add_reachable t ~ctx ~(mid : Ir.method_id) =
   if not (Hashtbl.mem t.reached (ctx, mid)) then begin
     Hashtbl.add t.reached (ctx, mid) ();
-    t.stats.st_reach_ctx <- t.stats.st_reach_ctx + 1;
+    Registry.incr t.c_reach_ctx;
     (* context-explosion cascades can spend a long time inside one worklist
        iteration; keep the budget honest here too *)
-    if t.stats.st_reach_ctx land 255 = 0 then Timer.check t.budget;
+    if Registry.value t.c_reach_ctx land 255 = 0 then Timer.check t.budget;
     if Bits.add t.reached_methods mid then t.plugin.pl_on_reachable mid;
     let m = Ir.metho t.prog mid in
     Ir.iter_stmts (process_stmt t ~ctx) m.m_body
@@ -229,7 +274,7 @@ and process_stmt t ~ctx (s : Ir.stmt) =
     ->
     let hctx = t.sel.sel_heap_ctx (env_of t) ~mctx:ctx ~site in
     let o = intern_obj t ~hctx ~site in
-    seed1 t (pv lhs) o
+    seed1 ~why:"alloc" t (pv lhs) o
   | Copy { lhs; rhs } ->
     if Ir.is_ref_type (Ir.var t.prog rhs).v_ty || Ir.is_ref_type (Ir.var t.prog lhs).v_ty
     then add_edge t ~src:(pv rhs) ~dst:(pv lhs)
@@ -337,9 +382,12 @@ and add_call_edge t ~caller_ctx ~site ~callee_ctx ~callee ~recv_obj =
   let first_full = not (Hashtbl.mem t.call_edges key) in
   if first_full then begin
     Hashtbl.add t.call_edges key ();
-    t.stats.st_call_edges <- t.stats.st_call_edges + 1;
+    Registry.incr t.c_call_edges;
     if not (Hashtbl.mem t.call_edges_proj (site, callee)) then begin
       Hashtbl.add t.call_edges_proj (site, callee) ();
+      (match t.prov with
+      | None -> ()
+      | Some pr -> Prov.record_call pr ~site ~callee ~recv:recv_obj);
       t.plugin.pl_on_call_edge site callee
     end;
     add_reachable t ~ctx:callee_ctx ~mid:callee;
@@ -364,12 +412,17 @@ and add_call_edge t ~caller_ctx ~site ~callee_ctx ~callee ~recv_obj =
   end;
   (* the triggering receiver flows to `this` even on a repeat edge *)
   match (recv_obj, (Ir.metho t.prog callee).m_this) with
-  | Some o, Some this -> seed1 t (ptr_var t ~ctx:callee_ctx this) o
+  | Some o, Some this -> seed1 ~why:"receiver" t (ptr_var t ~ctx:callee_ctx this) o
   | _ -> ()
 
 (* ------------------------------------------------------------ main loop *)
 
-let run (t : t) : unit =
+let sample_heap t =
+  let st = Gc.quick_stat () in
+  Registry.set_max t.g_heap (float_of_int st.Gc.heap_words);
+  Trace.sample_gc ()
+
+let run_loop (t : t) : unit =
   let t0 = Timer.now () in
   let entry_ctx = Interner.intern t.ctxs [] in
   let iter = ref 0 in
@@ -378,34 +431,51 @@ let run (t : t) : unit =
      add_reachable t ~ctx:entry_ctx ~mid:t.prog.main;
      while not (Queue.is_empty t.wl) do
        incr iter;
-       if !iter land 255 = 0 then Timer.check t.budget;
+       if !iter land 255 = 0 then begin
+         Timer.check t.budget;
+         if !iter land 4095 = 0 then sample_heap t
+       end;
        let p, objs = Queue.pop t.wl in
        let cur = pts t p in
        match Bits.union_into ~into:cur objs with
        | None -> ()
        | Some delta ->
-         t.stats.st_prop <- t.stats.st_prop + Bits.cardinal delta;
+         Registry.incr ~by:(Bits.cardinal delta) t.c_prop;
          (* flow along PFG edges *)
          List.iter
-           (fun e -> wl_push t e.e_dst (filter_delta t e.e_filter delta))
+           (fun e ->
+             let d = filter_delta t e.e_filter delta in
+             prov_flow t ~src:p ~dst:e.e_dst e.e_kind d;
+             wl_push t e.e_dst d)
            (succs t p);
          (* statement watches *)
          List.iter (fun w -> process_watch t w delta) (Vec.get t.watches p);
          t.plugin.pl_on_new_pts p delta
      done
    with Timer.Out_of_budget ->
-     t.stats.st_time <- Timer.now () -. t0;
+     Registry.set t.g_time (Timer.now () -. t0);
+     sample_heap t;
      Log.info (fun m ->
          m "%s+%s: out of budget after %.1fs (%d ctx-methods, %d edges)"
-           t.sel.sel_name t.plugin.pl_name t.stats.st_time t.stats.st_reach_ctx
-           t.stats.st_edges);
+           t.sel.sel_name t.plugin.pl_name
+           (Registry.gauge_value t.g_time)
+           (Registry.value t.c_reach_ctx)
+           (Registry.value t.c_edges));
      raise Timeout);
-  t.stats.st_time <- Timer.now () -. t0;
+  Registry.set t.g_time (Timer.now () -. t0);
+  sample_heap t;
   Log.info (fun m ->
       m "%s+%s: done in %.3fs (%d methods, %d ptrs, %d pfg edges, %d props)"
-        t.sel.sel_name t.plugin.pl_name t.stats.st_time
+        t.sel.sel_name t.plugin.pl_name
+        (Registry.gauge_value t.g_time)
         (Bits.cardinal t.reached_methods)
-        t.stats.st_ptrs t.stats.st_edges t.stats.st_prop)
+        (Registry.value t.c_ptrs) (Registry.value t.c_edges)
+        (Registry.value t.c_prop))
+
+let run (t : t) : unit =
+  Trace.with_span ~cat:"solver"
+    ("solve:" ^ t.sel.sel_name ^ "+" ^ t.plugin.pl_name)
+    (fun () -> run_loop t)
 
 (* --------------------------------------------------------------- results *)
 
@@ -417,8 +487,17 @@ type result = {
   r_reach : Bits.t;                               (** reachable methods *)
   r_edges : (Ir.call_id * Ir.method_id) list;     (** projected call edges *)
   r_pt : Ir.var_id -> Bits.t;                     (** var -> alloc sites *)
-  r_stats : string;                               (** one-line engine stats *)
+  r_snapshot : Snapshot.t;                        (** structured engine metrics *)
 }
+
+(** Freeze the engine metrics; callable at any time, including after a
+    {!Timeout} (the driver attaches the aborted-state snapshot to timed-out
+    outcomes). *)
+let snapshot (t : t) : Snapshot.t =
+  let s = Registry.snapshot t.reg in
+  match t.prov with
+  | None -> s
+  | Some pr -> Snapshot.with_counter s "prov_records" (Prov.size pr)
 
 let result (t : t) : result =
   (* project pointer facts onto variables, merging contexts and abstracting
@@ -444,17 +523,56 @@ let result (t : t) : result =
     r_name =
       (if t.plugin.pl_name = "none" then t.sel.sel_name
        else t.sel.sel_name ^ "+" ^ t.plugin.pl_name);
-    r_time = t.stats.st_time;
+    r_time = Registry.gauge_value t.g_time;
     r_reach = Bits.copy t.reached_methods;
     r_edges = Hashtbl.fold (fun k () acc -> k :: acc) t.call_edges_proj [];
     r_pt =
       (fun v -> match Hashtbl.find_opt var_pt v with Some b -> b | None -> empty);
-    r_stats =
-      Printf.sprintf
-        "ptrs=%d pfg-edges=%d props=%d cs-call-edges=%d ctx-methods=%d"
-        t.stats.st_ptrs t.stats.st_edges t.stats.st_prop t.stats.st_call_edges
-        t.stats.st_reach_ctx;
+    r_snapshot = snapshot t;
   }
+
+(* ------------------------------------------------------- explain helpers *)
+
+let iter_ptrs t f = Interner.iteri f t.ptrs
+
+let ptr_to_string t p =
+  match ptr_desc t p with
+  | PVar (ctx, v) ->
+    let vr = Ir.var t.prog v in
+    let m = Ir.method_name t.prog vr.v_method in
+    if ctx = Interner.intern t.ctxs [] then Printf.sprintf "%s.%s" m vr.v_name
+    else Printf.sprintf "%s.%s@ctx%d" m vr.v_name ctx
+  | PField (o, fld) ->
+    Printf.sprintf "obj#%d.%s" o (Ir.field t.prog fld).f_name
+  | PArr o -> Printf.sprintf "obj#%d[*]" o
+  | PStatic fld ->
+    let f = Ir.field t.prog fld in
+    Printf.sprintf "%s.%s" (Ir.class_name t.prog f.f_class) f.f_name
+
+let obj_to_string t o =
+  let site = obj_alloc t o in
+  let a = Ir.alloc t.prog site in
+  Fmt.str "obj#%d(new %a in %s)" o (Ir.pp_typ t.prog)
+    (Ir.alloc_typ t.prog site)
+    (Ir.method_name t.prog a.a_method)
+
+(** Render the derivation chain of [(ptr, obj)], one step per line, ending in
+    the seed event that introduced the object. Empty when provenance was not
+    enabled or the fact does not hold. *)
+let explain_chain t ~ptr ~obj : string list =
+  match t.prov with
+  | None -> []
+  | Some pr ->
+    List.map
+      (fun (p, r) ->
+        match r with
+        | Prov.Seed { label } ->
+          Printf.sprintf "%s <- %s  [%s]" (ptr_to_string t p)
+            (obj_to_string t obj) label
+        | Prov.Flow { src; via } ->
+          Printf.sprintf "%s <- %s  [%s]" (ptr_to_string t p)
+            (ptr_to_string t src) via)
+      (Prov.chain pr ~ptr ~obj)
 
 (** Run an analysis end to end. Raises {!Timeout} if the budget expires. *)
 let analyze ?budget ?sel ?plugin_of (prog : Ir.program) : t =

@@ -136,8 +136,12 @@ let test_solver_stats_string () =
   let p = compile Fixtures.carton in
   let t = Solver.analyze p in
   let r = Solver.result t in
-  Alcotest.(check bool) "stats mention ptrs" true
-    (Astring.String.is_infix ~affix:"ptrs=" r.r_stats)
+  let module Snapshot = Csc_obs.Snapshot in
+  (match Snapshot.counter_value r.r_snapshot "ptrs" with
+  | Some n -> Alcotest.(check bool) "ptrs counter positive" true (n > 0)
+  | None -> Alcotest.fail "snapshot has no ptrs counter");
+  Alcotest.(check bool) "rendered line mentions ptrs" true
+    (Astring.String.is_infix ~affix:"ptrs=" (Snapshot.to_line r.r_snapshot))
 
 let suite =
   [
