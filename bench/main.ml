@@ -9,10 +9,12 @@
     - recall  : §5.1 soundness recall experiment
     - ablation: §5.1 per-pattern precision-impact study
     - checks  : flow-sensitive diagnostics counts per workload, CI vs CSC
+    - collapse: solver cycle collapsing on/off (EXPERIMENTS.md E11)
     - micro   : Bechamel micro-benchmarks of the substrates
 
     Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
                                        [--json [FILE]] [--trace FILE]
+                                       [--compare BASELINE.json] [--soft-time]
     Default runs a representative subset sized for a laptop; pass `all` (or
     individual experiment names) and a bigger budget to reproduce everything.
 
@@ -20,7 +22,14 @@
     timeout flags, the four precision metrics and the engine's structured
     metric snapshot) as one JSON document; bare [--json] writes one
     BENCH_<experiment>.json per experiment instead. [--trace FILE] records a
-    Chrome trace_event timeline of the whole run. *)
+    Chrome trace_event timeline of the whole run.
+
+    [--compare BASELINE.json] is the regression gate: after running, every
+    cell is matched against the baseline document by (experiment, program,
+    analysis); any precision-metric change, or a >25% time regression, makes
+    the run exit non-zero. [--soft-time] downgrades the time check to a
+    warning (CI uses it: shared runners make wall-clock noisy, but precision
+    must never drift). *)
 
 module Ir = Csc_ir.Ir
 module Run = Csc_driver.Run
@@ -30,6 +39,7 @@ module Metrics = Csc_clients.Metrics
 module Bits = Csc_common.Bits
 module Csc = Csc_core.Csc
 module Json = Csc_obs.Json
+module Snapshot = Csc_obs.Snapshot
 module Trace = Csc_obs.Trace
 
 type config = {
@@ -344,6 +354,41 @@ let checks cfg =
       Fmt.pr "@.")
     cfg.programs
 
+(* --------------------------------------------------------- collapse (E11) *)
+
+(* Not in the paper: the solver's online cycle collapsing + coalescing
+   worklist, on vs off (EXPERIMENTS.md E11). Results are identical by
+   construction — the differential test suite asserts it — so the table is
+   about the work saved: propagation volume, worklist pressure and the
+   collapsing counters themselves. *)
+let collapse_analyses =
+  [ Run.Imp_ci; Run.Imp_no_collapse Run.Imp_ci; Run.Imp_csc;
+    Run.Imp_no_collapse Run.Imp_csc ]
+
+let collapse_exp cfg =
+  Fmt.pr "@.=== Extension: online cycle collapsing on/off (E11) ===@.";
+  Fmt.pr "%-11s %-16s %9s %12s %12s %12s %9s %9s@." "program" "analysis"
+    "time(s)" "propagated" "wl-pushes" "coalesced" "cycles" "merged";
+  List.iter
+    (fun pname ->
+      List.iter
+        (fun a ->
+          let o = outcome cfg pname a in
+          let c name =
+            match o.Run.o_snapshot with
+            | Some s -> (
+              match Snapshot.counter_value s name with
+              | Some v -> string_of_int v
+              | None -> "-")
+            | None -> "-"
+          in
+          Fmt.pr "%-11s %-16s %9s %12s %12s %12s %9s %9s@." pname o.o_analysis
+            (time_cell cfg a o) (c "propagated") (c "wl_pushes")
+            (c "wl_coalesced") (c "cycles_collapsed") (c "ptrs_merged"))
+        collapse_analyses;
+      Fmt.pr "@.")
+    cfg.programs
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -424,7 +469,7 @@ let micro () =
 
 let experiment_names =
   [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation"; "kstudy";
-    "extras"; "checks"; "micro" ]
+    "extras"; "checks"; "collapse"; "micro" ]
 
 (* the (program, analysis) cells each experiment reads. Serializing an
    experiment maps its grid through the memo cache, so the report re-runs
@@ -453,6 +498,7 @@ let grid_of_experiment cfg exp : (string * Run.analysis) list =
     cross (kstudy_programs cfg)
       [ Run.Imp_ci; Run.Imp_kobj 1; Run.Imp_2obj; Run.Imp_kobj 3; Run.Imp_csc ]
   | "extras" | "checks" -> cross cfg.programs [ Run.Imp_ci; Run.Imp_csc ]
+  | "collapse" -> cross cfg.programs collapse_analyses
   | _ -> []
 
 let experiment_json cfg exp : Json.t option =
@@ -462,6 +508,103 @@ let experiment_json cfg exp : Json.t option =
     Some
       (Report.experiment_json ~name:exp
          (List.map (fun (p, a) -> (p, outcome cfg p a)) grid))
+
+(* --------------------------------------------------------- regression gate *)
+
+(* [--compare BASELINE.json]: match this run's cells against a committed
+   baseline by (experiment, program, analysis). Precision metrics must be
+   identical — any drift is a hard failure, since every solver optimization
+   in this repo is required to be semantics-preserving. Time may regress up
+   to 25% (plus a 50ms jitter floor); beyond that it is a failure too unless
+   [soft_time] downgrades it to a warning. Cells absent on either side, or
+   timed out on either side, are skipped with a note. Returns the number of
+   hard failures. *)
+let compare_reports ~soft_time ~baseline (reports : (string * Json.t) list) :
+    int =
+  let failures = ref 0 in
+  let baseline_exps =
+    match Json.member "experiments" baseline with
+    | Some l -> Option.value ~default:[] (Json.get_list l)
+    | None -> [ baseline ]  (* a bare single-experiment document *)
+  in
+  let exp_name j = Option.bind (Json.member "experiment" j) Json.get_string in
+  let cells j =
+    Option.value ~default:[]
+      (Option.bind (Json.member "cells" j) Json.get_list)
+  in
+  let cell_key c =
+    match
+      ( Option.bind (Json.member "program" c) Json.get_string,
+        Option.bind (Json.member "analysis" c) Json.get_string )
+    with
+    | Some p, Some a -> Some (p, a)
+    | _ -> None
+  in
+  List.iter
+    (fun (ename, j) ->
+      match
+        List.find_opt (fun b -> exp_name b = Some ename) baseline_exps
+      with
+      | None ->
+        Fmt.epr "compare: no baseline for experiment %s (skipped)@." ename
+      | Some b ->
+        let base_cells = cells b in
+        List.iter
+          (fun cur ->
+            match cell_key cur with
+            | None -> ()
+            | Some (p, a) -> (
+              match
+                List.find_opt (fun bc -> cell_key bc = Some (p, a)) base_cells
+              with
+              | None ->
+                Fmt.epr "compare: %s/%s/%s not in baseline (skipped)@." ename p
+                  a
+              | Some bc ->
+                let timed_out c =
+                  Option.bind (Json.member "timeout" c) Json.get_bool
+                  = Some true
+                in
+                if timed_out cur || timed_out bc then
+                  Fmt.epr "compare: %s/%s/%s timed out (skipped)@." ename p a
+                else begin
+                  (match (Json.member "metrics" cur, Json.member "metrics" bc)
+                   with
+                  | Some mc, Some mb when mc <> mb ->
+                    incr failures;
+                    Fmt.epr
+                      "compare: FAIL %s/%s/%s precision metrics changed@.  \
+                       baseline %s@.  current  %s@."
+                      ename p a (Json.to_string mb) (Json.to_string mc)
+                  | _ -> ());
+                  match
+                    ( Option.bind (Json.member "time_s" cur) Json.get_float,
+                      Option.bind (Json.member "time_s" bc) Json.get_float )
+                  with
+                  | Some tc, Some tb when tc > (tb *. 1.25) +. 0.05 ->
+                    if soft_time then
+                      Fmt.epr
+                        "compare: warn %s/%s/%s time %.3fs vs baseline %.3fs \
+                         (soft)@."
+                        ename p a tc tb
+                    else begin
+                      incr failures;
+                      Fmt.epr
+                        "compare: FAIL %s/%s/%s time %.3fs vs baseline %.3fs \
+                         (>25%% regression)@."
+                        ename p a tc tb
+                    end
+                  | _ -> ()
+                end))
+          (cells j))
+    reports;
+  !failures
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* ------------------------------------------------------------------- main *)
 
@@ -497,6 +640,8 @@ let () =
   (match string_value "--trace" with
   | Some file -> Trace.start ~file
   | None -> ());
+  let compare_file = string_value "--compare" in
+  let soft_time = has "--soft-time" in
   let quick = has "--quick" in
   let cfg =
     {
@@ -517,8 +662,8 @@ let () =
     if experiments = [] || List.mem "all" experiments then
       (* cheap (imperative) experiments first so interrupted runs still
          cover every experiment; the Datalog grid (table1/fig12) comes last *)
-      [ "table2"; "recall"; "ablation"; "kstudy"; "extras"; "checks"; "micro";
-        "table3"; "table1"; "fig12" ]
+      [ "table2"; "collapse"; "recall"; "ablation"; "kstudy"; "extras";
+        "checks"; "micro"; "table3"; "table1"; "fig12" ]
     else experiments
   in
   Fmt.pr "cutshortcut bench: programs=[%s] budget=%.0fs doop-budget=%.0fs@."
@@ -537,9 +682,10 @@ let () =
       | "kstudy" -> kstudy cfg
       | "extras" -> extras cfg
       | "checks" -> checks cfg
+      | "collapse" -> collapse_exp cfg
       | "micro" -> micro ()
       | _ -> ());
-      if json_mode <> None then
+      if json_mode <> None || compare_file <> None then
         match experiment_json cfg e with
         | Some j -> reports := (e, j) :: !reports
         | None -> ())
@@ -557,4 +703,21 @@ let () =
         Report.write_file file j;
         Fmt.epr "wrote %s@." file)
       (List.rev !reports));
-  Trace.finish ()
+  let gate_failures =
+    match compare_file with
+    | None -> 0
+    | Some file -> (
+      match Json.parse (read_file file) with
+      | Error e ->
+        Fmt.epr "compare: cannot parse %s: %s@." file e;
+        1
+      | Ok baseline ->
+        let n =
+          compare_reports ~soft_time ~baseline (List.rev !reports)
+        in
+        if n = 0 then Fmt.epr "compare: OK, no regressions vs %s@." file
+        else Fmt.epr "compare: %d regression(s) vs %s@." n file;
+        n)
+  in
+  Trace.finish ();
+  if gate_failures > 0 then exit 1

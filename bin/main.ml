@@ -102,6 +102,13 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let no_collapse_arg =
+  let doc =
+    "Disable the solver's online cycle collapsing (escape hatch; results are \
+     identical, only slower)."
+  in
+  Arg.(value & flag & info [ "no-collapse" ] ~doc)
+
 let with_trace trace f =
   match trace with
   | None -> f ()
@@ -168,7 +175,7 @@ let analyze_cmd =
                "Record points-to provenance (imperative engine; adds a \
                 prov_records counter to the snapshot).")
   in
-  let run spec analyses budget validate explain trace =
+  let run spec analyses budget validate explain no_collapse trace =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let s = Ir.stats p in
@@ -179,14 +186,14 @@ let analyze_cmd =
     List.iter
       (fun a ->
         print_outcome
-          (Run.run ?budget_s:(budget_opt budget) ~validate ~explain p
-             (analysis_of_string a)))
+          (Run.run ?budget_s:(budget_opt budget) ~validate ~explain
+             ~collapse:(not no_collapse) p (analysis_of_string a)))
       analyses
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
     Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg
-          $ explain $ trace_arg)
+          $ explain $ no_collapse_arg $ trace_arg)
 
 (* --------------------------------------------------------------- explain *)
 
@@ -322,12 +329,13 @@ let check_cmd =
     Arg.(value & flag
          & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
   in
-  let run spec analysis checks json include_jdk budget validate trace =
+  let run spec analysis checks json include_jdk budget validate no_collapse
+      trace =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let o =
-      Run.run ?budget_s:(budget_opt budget) ~validate p
-        (analysis_of_string analysis)
+      Run.run ?budget_s:(budget_opt budget) ~validate
+        ~collapse:(not no_collapse) p (analysis_of_string analysis)
     in
     match o.Run.o_result with
     | None -> Fmt.epr "analysis %s timed out after %.1fs@." analysis o.Run.o_time
@@ -352,7 +360,7 @@ let check_cmd =
          "Run the flow-sensitive checkers (null-deref, fail-cast, poly-call, \
           dead-store) backed by a pointer analysis")
     Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
-          $ budget_arg $ validate_arg $ trace_arg)
+          $ budget_arg $ validate_arg $ no_collapse_arg $ trace_arg)
 
 let callgraph_cmd =
   let analysis =

@@ -78,6 +78,22 @@ let iter f t =
     done
   done
 
+(** [iter_diff f src excl] visits every element of [src \ excl] in increasing
+    order without allocating a difference set. *)
+let iter_diff f src excl =
+  let words = src.words and ew = excl.words in
+  let ne = Array.length ew in
+  for w = 0 to Array.length words - 1 do
+    let x = ref (words.(w) land lnot (if w < ne then ew.(w) else 0)) in
+    let base = w * word_bits in
+    while !x <> 0 do
+      let b = !x land - !x in
+      let rec log2 v acc = if v = 1 then acc else log2 (v lsr 1) (acc + 1) in
+      f (base + log2 b 0);
+      x := !x land lnot b
+    done
+  done
+
 let fold f t acc =
   let acc = ref acc in
   iter (fun i -> acc := f i !acc) t;
@@ -139,6 +155,27 @@ let union_into ~into src =
   done;
   !delta
 
+(** [union_quiet ~into src] adds every element of [src] to [into] without
+    materializing a delta — the no-allocation variant of {!union_into} for
+    callers that don't need to know what changed. *)
+let union_quiet ~into src =
+  let n = Array.length src.words in
+  ensure into ((n * word_bits) - 1);
+  for w = 0 to n - 1 do
+    let s = src.words.(w) and d = into.words.(w) in
+    let fresh = s land lnot d in
+    if fresh <> 0 then begin
+      into.words.(w) <- d lor fresh;
+      let x = ref fresh in
+      let cnt = ref 0 in
+      while !x <> 0 do
+        incr cnt;
+        x := !x land (!x - 1)
+      done;
+      into.card <- into.card + !cnt
+    end
+  done
+
 let inter_nonempty a b =
   let n = min (Array.length a.words) (Array.length b.words) in
   let rec go w = w < n && (a.words.(w) land b.words.(w) <> 0 || go (w + 1)) in
@@ -153,10 +190,24 @@ let equal a b =
   go 0
 
 let subset a b =
-  let word t w = if w < Array.length t.words then t.words.(w) else 0 in
-  let n = Array.length a.words in
-  let rec go w = w >= n || (word a w land lnot (word b w) = 0 && go (w + 1)) in
-  go 0
+  (* cardinality early-exit, then a word loop that stops scanning [b] at its
+     own length: any word of [a] beyond [b]'s words must be zero *)
+  a.card <= b.card
+  &&
+  let aw = a.words and bw = b.words in
+  let na = Array.length aw and nb = Array.length bw in
+  let shared = if na < nb then na else nb in
+  let ok = ref true in
+  let w = ref 0 in
+  while !ok && !w < shared do
+    if aw.(!w) land lnot bw.(!w) <> 0 then ok := false;
+    incr w
+  done;
+  while !ok && !w < na do
+    if aw.(!w) <> 0 then ok := false;
+    incr w
+  done;
+  !ok
 
 let pp ppf t =
   Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ",") int) (to_list t)

@@ -26,6 +26,11 @@ val copy : t -> t
 (** Iterates elements in increasing order. *)
 val iter : (int -> unit) -> t -> unit
 
+(** [iter_diff f src excl] visits every element of [src \ excl] in increasing
+    order. No allocation — the solver's hot path uses it to walk fresh deltas
+    without materializing the difference. *)
+val iter_diff : (int -> unit) -> t -> t -> unit
+
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 val to_list : t -> int list
 val of_list : int list -> t
@@ -39,6 +44,10 @@ val choose : t -> int option
     the delta (elements newly added) or [None] if nothing changed. The delta
     is fresh and owned by the caller. *)
 val union_into : into:t -> t -> t option
+
+(** [union_quiet ~into src] adds every element of [src] to [into] without
+    materializing a delta. (No allocation beyond growing [into].) *)
+val union_quiet : into:t -> t -> unit
 
 (** Do the two sets share an element? (No allocation.) *)
 val inter_nonempty : t -> t -> bool

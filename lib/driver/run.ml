@@ -26,13 +26,16 @@ type analysis =
   | Imp_2type
   | Imp_2call
   | Imp_zipper
+  | Imp_no_collapse of analysis
+      (** same analysis with the solver's online cycle collapsing disabled;
+          the differential tests and the E11 bench row are built on this *)
   | Doop_ci
   | Doop_csc
   | Doop_2obj
   | Doop_2type
   | Doop_zipper
 
-let name = function
+let rec name = function
   | Imp_ci -> "ci"
   | Imp_csc -> "csc"
   | Imp_csc_cfg cfg -> Csc.config_name cfg
@@ -43,6 +46,7 @@ let name = function
   | Imp_2type -> "2type"
   | Imp_2call -> "2call"
   | Imp_zipper -> "zipper-e"
+  | Imp_no_collapse a -> name a ^ "+nocollapse"
   | Doop_ci -> "doop-ci"
   | Doop_csc -> "doop-csc"
   | Doop_2obj -> "doop-2obj"
@@ -52,8 +56,9 @@ let name = function
 let all_imperative = [ Imp_ci; Imp_csc; Imp_2obj; Imp_2type; Imp_zipper ]
 let all_datalog = [ Doop_ci; Doop_csc; Doop_2obj; Doop_2type; Doop_zipper ]
 
-let is_datalog = function
+let rec is_datalog = function
   | Doop_ci | Doop_csc | Doop_2obj | Doop_2type | Doop_zipper -> true
+  | Imp_no_collapse a -> is_datalog a
   | Imp_ci | Imp_csc | Imp_csc_cfg _ | Imp_kobj _ | Imp_ktype _ | Imp_kcall _
   | Imp_2obj | Imp_2type | Imp_2call | Imp_zipper ->
     false
@@ -112,8 +117,8 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     reported in the outcome, not raised — like the paper's ">2h" cells.
     [validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR fails
     fast instead of silently corrupting analysis results. *)
-let run ?budget_s ?(validate = false) ?(explain = false) (p : Ir.program)
-    (analysis : analysis) : outcome =
+let rec run ?budget_s ?(validate = false) ?(explain = false)
+    ?(collapse = true) (p : Ir.program) (analysis : analysis) : outcome =
   if validate then Csc_ir.Validate.check_exn p;
   let budget =
     match budget_s with
@@ -125,7 +130,7 @@ let run ?budget_s ?(validate = false) ?(explain = false) (p : Ir.program)
   (* built via create/run (not [Solver.analyze]) to keep the solver handle:
      the timeout path still snapshots the aborted engine state *)
   let solve ?plugin_of sel =
-    let t = Solver.create ~budget ~sel p in
+    let t = Solver.create ~budget ~sel ~collapse p in
     if explain then Solver.enable_provenance t;
     (match plugin_of with Some f -> Solver.set_plugin t (f t) | None -> ());
     match Solver.run t with
@@ -138,6 +143,9 @@ let run ?budget_s ?(validate = false) ?(explain = false) (p : Ir.program)
     | Error snapshot -> timeout_outcome ~snapshot analysis (elapsed ())
   in
   match analysis with
+  | Imp_no_collapse inner ->
+    let o = run ?budget_s ~validate ~explain ~collapse:false p inner in
+    { o with o_analysis = name analysis }
   | Imp_ci ->
     imperative Context.ci (fun r -> of_result analysis p r (elapsed ()))
   | Imp_csc | Imp_csc_cfg _ ->

@@ -22,6 +22,9 @@ type analysis =
   | Imp_2type
   | Imp_2call
   | Imp_zipper
+  | Imp_no_collapse of analysis
+      (** same analysis with the solver's online cycle collapsing disabled
+          (differential testing, the E11 bench comparison) *)
   | Doop_ci
   | Doop_csc
   | Doop_2obj
@@ -59,11 +62,15 @@ type outcome = {
     fast (raising [Failure]) instead of corrupting analysis results; the
     test suite keeps it always on. [explain] (default false) records
     points-to provenance on the imperative engine (adds a [prov_records]
-    counter to the snapshot); it has no effect on Doop analyses. *)
+    counter to the snapshot); it has no effect on Doop analyses.
+    [collapse] (default true) controls the imperative solver's online cycle
+    collapsing — semantics-preserving, so results only differ in speed;
+    [Imp_no_collapse] is the same switch as an analysis value. *)
 val run :
   ?budget_s:float ->
   ?validate:bool ->
   ?explain:bool ->
+  ?collapse:bool ->
   Ir.program ->
   analysis ->
   outcome

@@ -230,6 +230,83 @@ let test_budget_timeout () =
   | _ -> Alcotest.fail "expected timeout"
   | exception Csc_pta.Solver.Timeout -> ()
 
+(* --- solver hot path: coalescing worklist + online cycle collapsing --- *)
+
+module Snapshot = Csc_obs.Snapshot
+
+let counter t n =
+  Option.value ~default:0 (Snapshot.counter_value (Solver.snapshot t) n)
+
+(* a = new; b = a; a = b — an unfiltered copy cycle the LCD heuristic must
+   detect and collapse, without changing any points-to set *)
+let cycle_src =
+  {|
+class A { }
+class Main {
+  static void main() {
+    A a = new A();
+    A b = a;
+    a = b;
+    System.print(a);
+    System.print(b);
+  }
+}
+|}
+
+let test_cycle_collapsing () =
+  let p = compile cycle_src in
+  let t = Solver.analyze p in
+  Alcotest.(check bool) "a cycle was collapsed" true
+    (counter t "cycles_collapsed" > 0);
+  Alcotest.(check bool) "pointers were merged" true
+    (counter t "ptrs_merged" > 0);
+  Alcotest.(check bool) "rep -> members mapping exposed" true
+    (Solver.collapse_classes t <> []);
+  let r = Solver.result t in
+  Alcotest.(check int) "a unchanged" 1 (pt_size r (var p "Main.main" "a"));
+  Alcotest.(check int) "b unchanged" 1 (pt_size r (var p "Main.main" "b"))
+
+(* three allocations seed the same pointer before it is ever popped: the
+   pending-delta table must merge them into one worklist entry *)
+let coalesce_src =
+  {|
+class A { }
+class Main {
+  static void main() {
+    A x = new A();
+    x = new A();
+    x = new A();
+    System.print(x);
+  }
+}
+|}
+
+let test_worklist_coalescing () =
+  let p = compile coalesce_src in
+  let t = Solver.analyze p in
+  Alcotest.(check bool) "pushes were coalesced" true
+    (counter t "wl_coalesced" > 0);
+  let r = Solver.result t in
+  Alcotest.(check int) "x keeps all three sites" 3
+    (pt_size r (var p "Main.main" "x"))
+
+(* pushing objects a pointer already has must be a complete no-op: no queue
+   entry, no counter movement, no pending-slot allocation *)
+let test_redundant_push_skipped () =
+  let p = compile coalesce_src in
+  let t = Solver.analyze p in
+  let xp = ref (-1) in
+  Solver.iter_ptrs t (fun ptr desc ->
+      match desc with
+      | Solver.PVar (_, v) when v = var p "Main.main" "x" -> xp := ptr
+      | _ -> ());
+  Alcotest.(check bool) "found ptr for x" true (!xp >= 0);
+  let before = counter t "wl_pushes" in
+  Solver.wl_push t !xp (Solver.pts t !xp);
+  Bits.iter (fun o -> Solver.wl_push1 t !xp o) (Solver.pts t !xp);
+  Alcotest.(check int) "redundant pushes skipped" before
+    (counter t "wl_pushes")
+
 let suite =
   [
     ( "pta.ci",
@@ -265,5 +342,13 @@ let suite =
         Alcotest.test_case "recall: 2obj" `Quick test_recall_all_fixtures_2obj;
         Alcotest.test_case "recall: 2call" `Quick test_recall_all_fixtures_2call;
         Alcotest.test_case "2obj refines CI" `Quick test_cs_refines_ci;
+      ] );
+    ( "pta.hotpath",
+      [
+        Alcotest.test_case "cycle collapsing" `Quick test_cycle_collapsing;
+        Alcotest.test_case "worklist coalescing" `Quick
+          test_worklist_coalescing;
+        Alcotest.test_case "redundant push skipped" `Quick
+          test_redundant_push_skipped;
       ] );
   ]

@@ -1,0 +1,132 @@
+(** Unit + property tests for the union-find backing the solver's online
+    cycle collapsing. The property tests check against a naive partition
+    model (list of classes). *)
+
+open Csc_common
+
+let test_singletons () =
+  let u = Uf.create () in
+  Alcotest.(check int) "find fresh" 42 (Uf.find u 42);
+  Alcotest.(check bool) "fresh is rep" true (Uf.is_rep u 42);
+  Alcotest.(check int) "nothing merged" 0 (Uf.merged_count u);
+  Alcotest.(check (list (pair int (list int))))
+    "no classes" []
+    (Uf.members u ~universe:50)
+
+let test_union_basic () =
+  let u = Uf.create () in
+  (match Uf.union u 1 2 with
+  | None -> Alcotest.fail "expected a merge"
+  | Some (rep, absorbed) ->
+      Alcotest.(check bool) "rep is one of the two" true
+        (rep = 1 || rep = 2);
+      Alcotest.(check bool) "absorbed is the other" true
+        (absorbed = 1 || absorbed = 2);
+      Alcotest.(check bool) "distinct" true (rep <> absorbed));
+  Alcotest.(check int) "same class" (Uf.find u 1) (Uf.find u 2);
+  Alcotest.(check bool) "redundant union" true (Uf.union u 2 1 = None);
+  Alcotest.(check int) "merged_count" 1 (Uf.merged_count u)
+
+let test_members () =
+  let u = Uf.create () in
+  ignore (Uf.union u 0 1);
+  ignore (Uf.union u 1 2);
+  ignore (Uf.union u 5 6);
+  let classes = Uf.members u ~universe:8 in
+  Alcotest.(check int) "two classes" 2 (List.length classes);
+  let sorted =
+    List.map (fun (_, ms) -> List.sort compare ms) classes
+    |> List.sort compare
+  in
+  Alcotest.(check (list (list int))) "class members" [ [ 0; 1; 2 ]; [ 5; 6 ] ]
+    sorted;
+  List.iter
+    (fun (rep, ms) ->
+      Alcotest.(check bool) "rep in class" true (List.mem rep ms);
+      Alcotest.(check bool) "rep is rep" true (Uf.is_rep u rep))
+    classes
+
+let test_growth () =
+  let u = Uf.create ~capacity:2 () in
+  ignore (Uf.union u 100 3);
+  Alcotest.(check int) "beyond capacity" (Uf.find u 100) (Uf.find u 3)
+
+(* --- property: agrees with a naive partition model ------------------- *)
+
+let universe = 40
+
+(* the model: for each id, the smallest member of its class *)
+let model_classes (unions : (int * int) list) =
+  let cls = Array.init universe (fun i -> i) in
+  let merge a b =
+    let ca = cls.(a) and cb = cls.(b) in
+    if ca <> cb then
+      Array.iteri (fun i c -> if c = cb then cls.(i) <- ca) cls
+  in
+  List.iter (fun (a, b) -> merge a b) unions;
+  cls
+
+let gen_unions =
+  QCheck2.Gen.(
+    list_size (int_bound 60)
+      (pair (int_bound (universe - 1)) (int_bound (universe - 1))))
+
+let prop_same_partition =
+  QCheck2.Test.make ~name:"uf partition = model partition" ~count:300
+    gen_unions (fun unions ->
+      let u = Uf.create () in
+      List.iter (fun (a, b) -> ignore (Uf.union u a b)) unions;
+      let cls = model_classes unions in
+      (* same-class iff same model class, for every pair *)
+      let ok = ref true in
+      for i = 0 to universe - 1 do
+        for j = 0 to universe - 1 do
+          if (Uf.find u i = Uf.find u j) <> (cls.(i) = cls.(j)) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let prop_merged_count =
+  QCheck2.Test.make ~name:"merged_count = universe - #classes" ~count:300
+    gen_unions (fun unions ->
+      let u = Uf.create () in
+      List.iter (fun (a, b) -> ignore (Uf.union u a b)) unions;
+      let cls = model_classes unions in
+      let n_classes =
+        Array.to_list cls |> List.sort_uniq compare |> List.length
+      in
+      Uf.merged_count u = universe - n_classes)
+
+let prop_members_cover =
+  QCheck2.Test.make ~name:"members lists every non-singleton exactly once"
+    ~count:300 gen_unions (fun unions ->
+      let u = Uf.create () in
+      List.iter (fun (a, b) -> ignore (Uf.union u a b)) unions;
+      let classes = Uf.members u ~universe in
+      let listed = List.concat_map snd classes in
+      List.length listed = List.length (List.sort_uniq compare listed)
+      && List.for_all
+           (fun (rep, ms) ->
+             List.length ms >= 2
+             && List.mem rep ms
+             && List.for_all (fun m -> Uf.find u m = Uf.find u rep) ms)
+           classes
+      && (* every merged-away id appears in some class *)
+      List.for_all
+        (fun i -> Uf.find u i = i || List.mem i listed)
+        (List.init universe (fun i -> i)))
+
+let suite =
+  [
+    ( "common.uf",
+      [
+        Alcotest.test_case "singletons" `Quick test_singletons;
+        Alcotest.test_case "union basics" `Quick test_union_basic;
+        Alcotest.test_case "members" `Quick test_members;
+        Alcotest.test_case "growth" `Quick test_growth;
+        QCheck_alcotest.to_alcotest prop_same_partition;
+        QCheck_alcotest.to_alcotest prop_merged_count;
+        QCheck_alcotest.to_alcotest prop_members_cover;
+      ] );
+  ]
