@@ -13,7 +13,8 @@
     - micro   : Bechamel micro-benchmarks of the substrates
 
     Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
-                                       [--json [FILE]] [--trace FILE]
+                                       [--json [FILE]] [--out DIR]
+                                       [--trace FILE]
                                        [--compare BASELINE.json] [--soft-time]
     Default runs a representative subset sized for a laptop; pass `all` (or
     individual experiment names) and a bigger budget to reproduce everything.
@@ -21,8 +22,10 @@
     [--json FILE] additionally writes every experiment's cells (times,
     timeout flags, the four precision metrics and the engine's structured
     metric snapshot) as one JSON document; bare [--json] writes one
-    BENCH_<experiment>.json per experiment instead. [--trace FILE] records a
-    Chrome trace_event timeline of the whole run.
+    BENCH_<experiment>.json per experiment instead. [--out DIR] places all
+    emitted JSON under DIR (created if missing) instead of the working
+    directory. [--trace FILE] records a Chrome trace_event timeline of the
+    whole run.
 
     [--compare BASELINE.json] is the regression gate: after running, every
     cell is matched against the baseline document by (experiment, program,
@@ -637,6 +640,17 @@ let () =
       | Some v when not (List.mem v ("all" :: experiment_names)) -> Some (Some v)
       | _ -> Some None
   in
+  (* --out DIR: directory for all emitted JSON (created if missing), so bare
+     --json stops dropping BENCH_*.json into the working tree *)
+  let out_dir = string_value "--out" in
+  let out_path file =
+    match out_dir with
+    | None -> file
+    | Some dir ->
+      if not (Sys.file_exists dir) then
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+      Filename.concat dir file
+  in
   (match string_value "--trace" with
   | Some file -> Trace.start ~file
   | None -> ());
@@ -693,13 +707,14 @@ let () =
   (match json_mode with
   | None -> ()
   | Some (Some file) ->
+    let file = out_path file in
     Report.write_file file
       (Json.Obj [ ("experiments", Json.List (List.rev_map snd !reports)) ]);
     Fmt.epr "wrote %s@." file
   | Some None ->
     List.iter
       (fun (e, j) ->
-        let file = "BENCH_" ^ e ^ ".json" in
+        let file = out_path ("BENCH_" ^ e ^ ".json") in
         Report.write_file file j;
         Fmt.epr "wrote %s@." file)
       (List.rev !reports));

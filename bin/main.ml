@@ -18,6 +18,8 @@ module Run = Csc_driver.Run
 module Suite = Csc_workloads.Suite
 module Snapshot = Csc_obs.Snapshot
 module Trace = Csc_obs.Trace
+module Campaign = Csc_fuzz.Campaign
+module Soundness = Csc_fuzz.Soundness
 
 let load_program (spec : string) : Ir.program =
   if List.mem spec Suite.names then Suite.compile spec
@@ -132,9 +134,34 @@ let list_cmd =
     Term.(const run $ const ())
 
 let gen_cmd =
-  let run name = print_string (Suite.source name) in
+  let rand_arg =
+    Arg.(value & opt (some int) None
+         & info [ "rand" ] ~docv:"SEED"
+             ~doc:"Print the fuzzer's randomized program for $(docv) instead \
+                   of a suite workload (reproduces fuzz cases by hand).")
+  in
+  let size_arg =
+    Arg.(value & opt int 30
+         & info [ "max-size" ] ~docv:"STMTS"
+             ~doc:"Plan size for --rand.")
+  in
+  let opt_program_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"PROGRAM" ~doc:"Suite workload to print.")
+  in
+  let run name rand max_size =
+    match (rand, name) with
+    | Some seed, _ ->
+      print_string
+        (Csc_workloads.Gen.Rand.render
+           (Csc_workloads.Gen.Rand.generate ~seed ~max_size))
+    | None, Some name -> print_string (Suite.source name)
+    | None, None ->
+      Fmt.epr "gen: need a suite workload name or --rand SEED@.";
+      exit 2
+  in
   Cmd.v (Cmd.info "gen" ~doc:"Print a generated workload's source")
-    Term.(const run $ program_arg)
+    Term.(const run $ opt_program_arg $ rand_arg $ size_arg)
 
 let run_cmd =
   let quiet =
@@ -416,11 +443,99 @@ let recall_cmd =
     (Cmd.info "recall" ~doc:"Recall experiment: dynamic vs static coverage")
     Term.(const run $ program_arg $ budget_arg)
 
+let fuzz_cmd =
+  let n_arg =
+    Arg.(value & opt int 500
+         & info [ "n" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Campaign seed; fixed seed, identical campaign.")
+  in
+  let max_size_arg =
+    Arg.(value & opt int 30
+         & info [ "max-size" ] ~docv:"STMTS"
+             ~doc:"Target plan size per generated program.")
+  in
+  let minimize_arg =
+    Arg.(value & opt bool true
+         & info [ "minimize" ] ~docv:"BOOL"
+             ~doc:"Delta-debug violating programs to minimal counterexamples.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Write (minimized) counterexamples and their JSON metadata \
+                   to $(docv).")
+  in
+  let inject_arg =
+    (* hidden self-test: drops store-pattern shortcut edges, which the
+       oracle must catch *)
+    Arg.(value & flag
+         & info [ "inject-unsound" ]
+             ~doc:"Deliberately drop CSC store-pattern shortcut edges to \
+                   verify the oracle catches real unsoundness. The campaign \
+                   is expected to FAIL."
+             ~docs:Cmdliner.Manpage.s_none)
+  in
+  let run n seed max_size minimize out inject trace =
+    with_trace trace @@ fun () ->
+    let cfg =
+      {
+        Campaign.default_cfg with
+        Campaign.n;
+        seed;
+        max_size;
+        minimize;
+        out_dir = out;
+        inject_unsound = inject;
+        progress = true;
+      }
+    in
+    let r = Campaign.run cfg in
+    Fmt.pr "fuzz: %d programs, %d violating, %d generator errors, %d halted \
+            traces (%.1f progs/s, %.1fs)@."
+      r.Campaign.r_total
+      (List.length r.Campaign.r_failed)
+      r.Campaign.r_gen_errors r.Campaign.r_halted r.Campaign.r_progs_per_s
+      r.Campaign.r_elapsed;
+    List.iter
+      (fun (c : Campaign.case) ->
+        Fmt.pr "@.seed %d: %d violation(s)@." c.Campaign.c_seed
+          (List.length c.Campaign.c_violations);
+        List.iter
+          (fun v -> Fmt.pr "  %a@." Soundness.pp_violation v)
+          c.Campaign.c_violations;
+        match (c.Campaign.c_min_source, c.Campaign.c_min_app_stmts) with
+        | Some src, Some stmts ->
+          Fmt.pr "  minimized to %d app IR statements:@.%s@." stmts src
+        | _ -> ())
+      r.Campaign.r_failed;
+    if r.Campaign.r_failed <> [] then begin
+      Fmt.epr "fuzz: FAILED (%d violating program(s))@."
+        (List.length r.Campaign.r_failed);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Soundness fuzzing: random programs, interpreter ground truth, the \
+          full engine/configuration matrix, delta-debugged counterexamples")
+    Term.(const run $ n_arg $ seed_arg $ max_size_arg $ minimize_arg $ out_arg
+          $ inject_arg $ trace_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "cutshortcut" ~version:"1.0.0"
        ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
     [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; explain_cmd;
-      check_cmd; recall_cmd; callgraph_cmd; pts_cmd ]
+      check_cmd; recall_cmd; callgraph_cmd; pts_cmd; fuzz_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+(* cmdliner reserves double-dash spellings for multi-char names, but the
+   documented fuzz interface is `--n N`; accept it as an alias of `-n` *)
+let argv =
+  Array.map (fun a -> if a = "--n" then "-n" else a) Sys.argv
+
+let () = exit (Cmd.eval ~argv main_cmd)

@@ -20,23 +20,28 @@ type t = {
   call_edge : int;
 }
 
-let compute (p : Ir.program) (r : Solver.result) : t =
-  (* #fail-cast: a reachable cast (T) x may fail if some allocation in
-     pt(x) is not a subtype of T *)
-  let fail_cast = ref 0 in
+(** Sites of the [#fail-cast] client, as a set: a reachable cast (T) x may
+    fail if some allocation in pt(x) is not a subtype of T. Exposed for the
+    soundness fuzzer, which checks dynamically-failed casts against it. *)
+let may_fail_casts (p : Ir.program) (r : Solver.result) : Bits.t =
+  let sites = Bits.create () in
   Ir.iter_all_stmts
     (fun mid s ->
       if Bits.mem r.r_reach mid then
         match s with
-        | Cast { ty; rhs; _ } ->
+        | Cast { ty; rhs; site; _ } ->
           let may_fail =
             Bits.exists
               (fun a -> not (Ir.subtype p (Ir.alloc_typ p a) ty))
               (r.r_pt rhs)
           in
-          if may_fail then incr fail_cast
+          if may_fail then ignore (Bits.add sites site)
         | _ -> ())
     p;
+  sites
+
+let compute (p : Ir.program) (r : Solver.result) : t =
+  let fail_cast = Bits.cardinal (may_fail_casts p r) in
   (* #poly-call and #call-edge from the projected call graph *)
   let targets_by_site : (Ir.call_id, int) Hashtbl.t = Hashtbl.create 256 in
   List.iter
@@ -50,7 +55,7 @@ let compute (p : Ir.program) (r : Solver.result) : t =
       if n >= 2 && (Ir.call p site).cs_kind = Virtual then incr poly_call)
     targets_by_site;
   {
-    fail_cast = !fail_cast;
+    fail_cast;
     reach_mtd = Bits.cardinal r.r_reach;
     poly_call = !poly_call;
     call_edge = List.length r.r_edges;

@@ -16,6 +16,12 @@ type t = {
 val compute : Ir.program -> Solver.result -> t
 val pp : Format.formatter -> t -> unit
 
+(** The sites of the [fail_cast] client as a set — reachable casts whose
+    points-to set contains an allocation incompatible with the target type.
+    [compute] counts this set; the soundness fuzzer checks dynamically
+    observed cast failures are contained in it. *)
+val may_fail_casts : Ir.program -> Solver.result -> Csc_common.Bits.t
+
 (** Extension client (not in the paper): reachable [instanceof] sites whose
     outcome is not statically resolved. *)
 val unresolved_instanceof : Ir.program -> Solver.result -> int

@@ -147,10 +147,16 @@ let mark_involved t ptr =
   | Some m -> ignore (Bits.add t.involved m)
   | None -> ()
 
+(** Fault-injection hook for the soundness fuzzer: when set, store-pattern
+    shortcut edges are silently dropped while the matching cuts still apply —
+    a deliberate unsoundness the fuzzer must catch and minimize. Never set
+    outside tests and the hidden [fuzz --inject-unsound] flag. *)
+let sabotage_drop_shortcuts = ref false
+
 (** Add a shortcut edge (E_SC); [rule] is the per-pattern counter of the
     rule that emitted it. *)
 let shortcut ?filter t rule ~src ~dst =
-  if src <> dst then begin
+  if src <> dst && not (!sabotage_drop_shortcuts && rule == t.c_sc_store) then begin
     t.n_shortcuts <- t.n_shortcuts + 1;
     Registry.incr rule;
     mark_involved t src;

@@ -1,0 +1,43 @@
+(** The soundness oracle: concrete execution vs. the static analysis matrix.
+
+    Executes a program once (partial traces from runtime errors are still
+    valid lower bounds), then checks dynamic ⊆ static — reachable methods,
+    call edges, per-variable points-to sets, failing casts — for every
+    engine/configuration in {!default_matrix}, plus exact-agreement
+    cross-checks (imperative vs. Datalog CI, cycle collapsing on vs. off). *)
+
+module Ir = Csc_ir.Ir
+module Run = Csc_driver.Run
+
+(** Violation taxonomy (documented in EXPERIMENTS.md E12). *)
+type kind =
+  | Unsound_reach  (** dynamically entered method not statically reachable *)
+  | Unsound_edge   (** dynamic call edge missing from the static call graph *)
+  | Unsound_pt     (** observed allocation site missing from a points-to set *)
+  | Unsound_cast   (** cast failed at runtime but not in [may_fail_casts] *)
+  | Engine_mismatch    (** imperative and Datalog CI results differ *)
+  | Collapse_mismatch  (** cycle collapsing changed an observable result *)
+  | Analysis_crash     (** an analysis raised or timed out on a tiny program *)
+
+val kind_name : kind -> string
+
+type violation = {
+  v_kind : kind;
+  v_analysis : string;  (** analysis (or pair of analyses) implicated *)
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** Imperative × Datalog × CSC on/off × collapse on/off. *)
+val default_matrix : Run.analysis list
+
+(** IR statements in application (non-JDK) methods — the size metric for
+    minimized counterexamples. *)
+val app_stmt_count : Ir.program -> int
+
+(** Run the full oracle on one program; empty list = no bug exposed.
+    [matrix] defaults to {!default_matrix}; [max_steps] (default 2M) bounds
+    the concrete run. *)
+val check :
+  ?matrix:Run.analysis list -> ?max_steps:int -> Ir.program -> violation list

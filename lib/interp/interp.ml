@@ -3,7 +3,9 @@
     This is the substrate for the paper's §5.1 recall experiment: it executes
     a program and records the *dynamically* reachable methods and call-graph
     edges, which every sound static analysis must over-approximate. It also
-    powers the runnable examples (MiniJava programs actually run). *)
+    powers the runnable examples (MiniJava programs actually run) and the
+    soundness fuzzer ({!Csc_fuzz}), which additionally needs per-variable
+    allocation-site ground truth and observed cast outcomes. *)
 
 open Csc_common
 module Ir = Csc_ir.Ir
@@ -24,6 +26,13 @@ type outcome = {
   dyn_reachable : Bits.t;            (** method ids entered at least once *)
   dyn_edges : (Ir.call_id * Ir.method_id) list;  (** dynamic call edges *)
   steps : int;
+  dyn_pt : Bits.t array;
+      (** per-variable observed allocation sites (indexed by [var_id]);
+          [[||]] unless [record_pts] was set *)
+  dyn_fail_casts : Bits.t;           (** cast sites observed to fail *)
+  halted : string option;
+      (** [Some msg] iff execution stopped on a runtime error; everything
+          recorded up to the halt is still valid ground truth *)
 }
 
 exception Runtime_error of string
@@ -34,15 +43,21 @@ let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
 type state = {
   prog : Ir.program;
   heap : heap_cell Vec.t;
+  sites : int Vec.t;  (* heap address -> allocation site, parallel to heap *)
   statics : (Ir.field_id, value) Hashtbl.t;
   mutable out : string list;
   reach : Bits.t;
   edges : (Ir.call_id * Ir.method_id, unit) Hashtbl.t;
   mutable steps : int;
   max_steps : int;
+  var_pts : Bits.t array;  (* per-var observed alloc sites; [||] = off *)
+  fail_casts : Bits.t;
 }
 
-let alloc st cell = Vec.push_idx st.heap cell
+let alloc st cell site =
+  let addr = Vec.push_idx st.heap cell in
+  Vec.set_grow st.sites addr site;
+  addr
 
 let default_value (ty : Ir.typ) : value =
   match ty with
@@ -96,7 +111,15 @@ type frame = (Ir.var_id, value) Hashtbl.t
 let get_var (fr : frame) v =
   match Hashtbl.find_opt fr v with Some x -> x | None -> VNull
 
-let set_var (fr : frame) v x = Hashtbl.replace fr v x
+(* the fuzzer's ground truth: every ref-valued assignment contributes the
+   value's allocation site to the (context-insensitively merged) observed
+   points-to set of the variable — the dynamic counterpart of [r_pt] *)
+let set_var st (fr : frame) v x =
+  (if Array.length st.var_pts > 0 then
+     match x with
+     | VRef a -> ignore (Bits.add st.var_pts.(v) (Vec.get st.sites a))
+     | _ -> ());
+  Hashtbl.replace fr v x
 
 let rec exec_stmts st fr (body : Ir.stmt array) : unit =
   Array.iter (exec_stmt st fr) body
@@ -106,31 +129,34 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
   if st.steps > st.max_steps then error "step budget exhausted (non-termination?)";
   match s with
   | Nop -> ()
-  | New { lhs; cls; _ } ->
-    let addr = alloc st (HObj { cls; fields = Hashtbl.create 4 }) in
-    set_var fr lhs (VRef addr)
-  | NewArray { lhs; len; _ } -> (
+  | New { lhs; cls; site } ->
+    let addr = alloc st (HObj { cls; fields = Hashtbl.create 4 }) site in
+    set_var st fr lhs (VRef addr)
+  | NewArray { lhs; len; site; _ } -> (
     match get_var fr len with
     | VInt n when n >= 0 ->
-      let addr = alloc st (HArr { elems = Array.make n VNull }) in
-      set_var fr lhs (VRef addr)
+      let addr = alloc st (HArr { elems = Array.make n VNull }) site in
+      set_var st fr lhs (VRef addr)
     | VInt n -> error "negative array size %d" n
     | _ -> error "array size is not an int")
-  | StrConst { lhs; value; _ } ->
-    let addr = alloc st (HStr value) in
-    set_var fr lhs (VRef addr)
-  | ConstInt { lhs; value } -> set_var fr lhs (VInt value)
-  | ConstBool { lhs; value } -> set_var fr lhs (VBool value)
-  | ConstNull { lhs } -> set_var fr lhs VNull
-  | Copy { lhs; rhs } -> set_var fr lhs (get_var fr rhs)
-  | Cast { lhs; ty; rhs; _ } ->
+  | StrConst { lhs; value; site } ->
+    let addr = alloc st (HStr value) site in
+    set_var st fr lhs (VRef addr)
+  | ConstInt { lhs; value } -> set_var st fr lhs (VInt value)
+  | ConstBool { lhs; value } -> set_var st fr lhs (VBool value)
+  | ConstNull { lhs } -> set_var st fr lhs VNull
+  | Copy { lhs; rhs } -> set_var st fr lhs (get_var fr rhs)
+  | Cast { lhs; ty; rhs; site } ->
     let v = get_var fr rhs in
-    if cast_ok st v ty then set_var fr lhs v
-    else error "ClassCastException: cannot cast %s" (string_of_value st v)
+    if cast_ok st v ty then set_var st fr lhs v
+    else begin
+      ignore (Bits.add st.fail_casts site);
+      error "ClassCastException: cannot cast %s" (string_of_value st v)
+    end
   | InstanceOf { lhs; ty; rhs; _ } ->
     (* null instanceof T is false, unlike casts *)
     let v = get_var fr rhs in
-    set_var fr lhs (VBool (v <> VNull && cast_ok st v ty))
+    set_var st fr lhs (VBool (v <> VNull && cast_ok st v ty))
   | Load { lhs; base; fld } -> (
     match get_var fr base with
     | VRef a ->
@@ -140,7 +166,7 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
         | Some v -> v
         | None -> default_value (Ir.field st.prog fld).f_ty
       in
-      set_var fr lhs v
+      set_var st fr lhs v
     | VNull -> error "NullPointerException: load of field %s"
                  (Ir.field st.prog fld).f_name
     | _ -> error "field load on non-object")
@@ -157,7 +183,7 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
       | HArr r ->
         if i < 0 || i >= Array.length r.elems then
           error "ArrayIndexOutOfBounds: %d of %d" i (Array.length r.elems);
-        set_var fr lhs r.elems.(i)
+        set_var st fr lhs r.elems.(i)
       | _ -> error "indexing a non-array")
     | VNull, _ -> error "NullPointerException: array load"
     | _ -> error "bad array load")
@@ -176,8 +202,8 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
     match get_var fr arr with
     | VRef a -> (
       match cell st a with
-      | HArr r -> set_var fr lhs (VInt (Array.length r.elems))
-      | HStr s -> set_var fr lhs (VInt (String.length s))
+      | HArr r -> set_var st fr lhs (VInt (Array.length r.elems))
+      | HStr s -> set_var st fr lhs (VInt (String.length s))
       | _ -> error "length of non-array")
     | VNull -> error "NullPointerException: array length"
     | _ -> error "bad array length")
@@ -187,13 +213,14 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
       | Some v -> v
       | None -> default_value (Ir.field st.prog fld).f_ty
     in
-    set_var fr lhs v
+    set_var st fr lhs v
   | SStore { fld; rhs } -> Hashtbl.replace st.statics fld (get_var fr rhs)
-  | Binop { lhs; op; a; b } -> set_var fr lhs (eval_binop st op (get_var fr a) (get_var fr b))
+  | Binop { lhs; op; a; b } ->
+    set_var st fr lhs (eval_binop st op (get_var fr a) (get_var fr b))
   | Unop { lhs; op; a } -> (
     match (op, get_var fr a) with
-    | Not, VBool b -> set_var fr lhs (VBool (not b))
-    | Neg, VInt n -> set_var fr lhs (VInt (-n))
+    | Not, VBool b -> set_var st fr lhs (VBool (not b))
+    | Neg, VInt n -> set_var st fr lhs (VInt (-n))
     | _ -> error "bad unary operand")
   | Invoke { lhs; kind; recv; target; args; site } ->
     let argv = Array.map (get_var fr) args in
@@ -218,7 +245,7 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
     in
     Hashtbl.replace st.edges (site, callee) ();
     let result = call_method st callee recv_v argv in
-    (match lhs with Some l -> set_var fr l result | None -> ())
+    (match lhs with Some l -> set_var st fr l result | None -> ())
   | Return None -> raise (Return_value VNull)
   | Return (Some v) -> raise (Return_value (get_var fr v))
   | If { cond; then_; else_; _ } -> (
@@ -274,34 +301,60 @@ and call_method st (mid : Ir.method_id) (recv : value option) (argv : value arra
   let m = Ir.metho st.prog mid in
   let fr : frame = Hashtbl.create 16 in
   (match (m.m_this, recv) with
-  | Some this, Some v -> set_var fr this v
+  | Some this, Some v -> set_var st fr this v
   | Some _, None -> error "instance method without receiver"
   | None, _ -> ());
   if Array.length m.m_params <> Array.length argv then
     error "arity mismatch calling %s" (Ir.method_name st.prog mid);
-  Array.iteri (fun i p -> set_var fr p argv.(i)) m.m_params;
+  Array.iteri (fun i p -> set_var st fr p argv.(i)) m.m_params;
   match exec_stmts st fr m.m_body with
   | () -> VNull (* fell off the end *)
   | exception Return_value v -> v
 
-(** Run [prog] from its [main]. [max_steps] bounds execution (default 50M). *)
-let run ?(max_steps = 50_000_000) (prog : Ir.program) : outcome =
-  let st =
-    {
-      prog;
-      heap = Vec.create (HStr "");
-      statics = Hashtbl.create 16;
-      out = [];
-      reach = Bits.create ();
-      edges = Hashtbl.create 256;
-      steps = 0;
-      max_steps;
-    }
-  in
-  ignore (call_method st prog.main None [||]);
+let make_state ~max_steps ~record_pts (prog : Ir.program) : state =
+  {
+    prog;
+    heap = Vec.create (HStr "");
+    sites = Vec.create (-1);
+    statics = Hashtbl.create 16;
+    out = [];
+    reach = Bits.create ();
+    edges = Hashtbl.create 256;
+    steps = 0;
+    max_steps;
+    var_pts =
+      (if record_pts then
+         Array.init (Array.length prog.vars) (fun _ -> Bits.create ())
+       else [||]);
+    fail_casts = Bits.create ();
+  }
+
+let outcome_of_state st ~halted : outcome =
   {
     output = List.rev st.out;
     dyn_reachable = st.reach;
     dyn_edges = Hashtbl.fold (fun k () acc -> k :: acc) st.edges [];
     steps = st.steps;
+    dyn_pt = st.var_pts;
+    dyn_fail_casts = st.fail_casts;
+    halted;
   }
+
+(** Run [prog] from its [main]. [max_steps] bounds execution (default 50M);
+    [record_pts] (default false, it costs on the hot path) additionally
+    fills [dyn_pt]. *)
+let run ?(max_steps = 50_000_000) ?(record_pts = false) (prog : Ir.program) :
+    outcome =
+  let st = make_state ~max_steps ~record_pts prog in
+  ignore (call_method st prog.main None [||]);
+  outcome_of_state st ~halted:None
+
+(** Like {!run} with [record_pts], but a runtime error halts execution
+    instead of raising: the outcome carries everything observed up to the
+    halt (still a valid under-approximation of any sound static analysis)
+    plus the error in [halted]. The soundness fuzzer is built on this. *)
+let run_trace ?(max_steps = 50_000_000) (prog : Ir.program) : outcome =
+  let st = make_state ~max_steps ~record_pts:true prog in
+  match ignore (call_method st prog.main None [||]) with
+  | () -> outcome_of_state st ~halted:None
+  | exception Runtime_error msg -> outcome_of_state st ~halted:(Some msg)

@@ -18,6 +18,16 @@ type outcome = {
   dyn_reachable : Csc_common.Bits.t;  (** method ids entered at least once *)
   dyn_edges : (Ir.call_id * Ir.method_id) list;  (** dynamic call edges *)
   steps : int;
+  dyn_pt : Csc_common.Bits.t array;
+      (** per-variable observed allocation sites, indexed by [var_id] —
+          the dynamic counterpart of a solver's [r_pt]. [[||]] unless
+          points-to recording was enabled. *)
+  dyn_fail_casts : Csc_common.Bits.t;
+      (** cast sites observed to fail at least once *)
+  halted : string option;
+      (** [Some msg] iff execution stopped on a runtime error (only
+          {!run_trace} produces this — {!run} raises instead). Facts
+          recorded before the halt remain valid ground truth. *)
 }
 
 (** Raised on runtime errors: null dereference, failing cast, index out of
@@ -26,5 +36,14 @@ exception Runtime_error of string
 
 (** [run ?max_steps prog] executes [prog.main] to completion.
     [max_steps] (default 50M) bounds execution so generator or frontend bugs
-    surface as {!Runtime_error} instead of hangs. *)
-val run : ?max_steps:int -> Ir.program -> outcome
+    surface as {!Runtime_error} instead of hangs. [record_pts] (default
+    [false] — it costs on the interpreter hot path) additionally fills
+    [dyn_pt]. *)
+val run : ?max_steps:int -> ?record_pts:bool -> Ir.program -> outcome
+
+(** [run_trace ?max_steps prog] is {!run} with points-to recording always on
+    and runtime errors captured rather than raised: on a runtime error the
+    partial trace observed so far is returned with [halted = Some msg]. The
+    soundness fuzzer uses this so generated programs that trip over an
+    unguarded cast or null field still contribute ground truth. *)
+val run_trace : ?max_steps:int -> Ir.program -> outcome

@@ -464,3 +464,791 @@ let generate (shape : shape) : string =
   emit_drivers ctx;
   emit_main ctx;
   Buffer.contents ctx.buf
+
+(* ================================================================== *)
+(* Randomized, type-correct program generation for the soundness      *)
+(* fuzzer (lib/fuzz). Unlike the shape-based generator above, which   *)
+(* emits a fixed architecture, [Rand] draws a random *plan* — a tree  *)
+(* of typed statements over a random class table — and renders it to  *)
+(* MiniJava source. Plans, not source text, are what the fuzzer       *)
+(* shrinks: removing a plan statement cascades through its def-use    *)
+(* closure, so every shrink candidate is again a well-formed program. *)
+(* ================================================================== *)
+
+module Rand = struct
+  (* ---- class table ---- *)
+
+  type cls = {
+    k_parent : int option;  (* index of superclass, always a lower index *)
+    k_nf : int;             (* own Object fields f<c>_<j>, j < k_nf *)
+    k_act : int;            (* act() body variant, see [render_act] *)
+  }
+
+  (* ---- statement plans ----
+
+     Variables are numbered globally and defined exactly once (SSA-ish at
+     the source level); compound statements open lexical scopes, so a var
+     defined inside an [if]/loop body is invisible outside it. *)
+
+  type cond = CEven | COdd  (* round % 2 == 0 / 1: varies across rounds *)
+
+  type pstmt =
+    | PNew of { v : int; cls : int }
+    | PNewObj of { v : int }
+    | PStr of { v : int; tag : int }
+    | PMake of { v : int; cls : int }  (* static factory: local-flow shape *)
+    | PPipe of { v : int; src : int }  (* static identity chain *)
+    | PWiden of { v : int; anc : int; src : int }  (* Anc v = src; *)
+    | PChoice of { v : int; anc : int option; a : int; b : int; cond : cond }
+    | PSet of { recv : int; acc : int * int; arg : int }  (* recv.set<c>_<j>(arg) *)
+    | PGet of { v : int; recv : int; acc : int * int }
+    | PVirt of { v : int; recv : int }  (* Object v = recv.act(); *)
+    | PCast of { v : int; cls : int; src : int; guarded : bool }
+    | PListNew of { v : int }
+    | PListAdd of { list : int; arg : int }
+    | PListGet of { v : int; list : int }
+    | PIter of { it : int; elem : int; list : int; body : pstmt list }
+    | PMapNew of { v : int }
+    | PMapPut of { map : int; key : int; value : int }
+    | PMapGet of { v : int; map : int; key : int }
+    | PArrNew of { v : int; len : int }
+    | PArrStore of { arr : int; idx : int; arg : int }
+    | PArrLoad of { v : int; arr : int; idx : int }
+    | PIf of { cond : cond; body : pstmt list }
+    | PLoop of { i : int; n : int; body : pstmt list }
+    | PPrint of { arg : int }
+
+  type plan = {
+    p_seed : int;
+    p_classes : cls array;
+    p_stmts : pstmt list;
+    p_rounds : int;
+  }
+
+  let seed_of p = p.p_seed
+
+  (* ---- class-table helpers ---- *)
+
+  let rec ancestors classes c =
+    match classes.(c).k_parent with
+    | None -> []
+    | Some p -> p :: ancestors classes p
+
+  let descendants classes c =
+    let out = ref [] in
+    Array.iteri
+      (fun d _ -> if d <> c && List.mem c (ancestors classes d) then
+          out := d :: !out)
+      classes;
+    !out
+
+  (* accessors callable through a receiver of static class [c]:
+     own fields plus every ancestor's *)
+  let accessors classes c =
+    List.concat_map
+      (fun k -> List.init classes.(k).k_nf (fun j -> (k, j)))
+      (c :: ancestors classes c)
+
+  (* ---- def/use, for shrink-time cascade removal ---- *)
+
+  let defs = function
+    | PNew { v; _ } | PNewObj { v } | PStr { v; _ } | PMake { v; _ }
+    | PPipe { v; _ } | PWiden { v; _ } | PChoice { v; _ } | PGet { v; _ }
+    | PVirt { v; _ } | PCast { v; _ } | PListNew { v } | PListGet { v; _ }
+    | PMapNew { v } | PMapGet { v; _ } | PArrNew { v; _ }
+    | PArrLoad { v; _ } -> [ v ]
+    | PIter { it; elem; _ } -> [ it; elem ]
+    | PLoop { i; _ } -> [ i ]
+    | PSet _ | PListAdd _ | PMapPut _ | PArrStore _ | PIf _ | PPrint _ -> []
+
+  let uses = function
+    | PPipe { src; _ } | PWiden { src; _ } | PCast { src; _ } -> [ src ]
+    | PChoice { a; b; _ } -> [ a; b ]
+    | PSet { recv; arg; _ } -> [ recv; arg ]
+    | PGet { recv; _ } | PVirt { recv; _ } -> [ recv ]
+    | PListAdd { list; arg } -> [ list; arg ]
+    | PListGet { list; _ } | PIter { list; _ } -> [ list ]
+    | PMapPut { map; key; value } -> [ map; key; value ]
+    | PMapGet { map; key; _ } -> [ map; key ]
+    | PArrStore { arr; arg; _ } -> [ arr; arg ]
+    | PArrLoad { arr; _ } -> [ arr ]
+    | PPrint { arg } -> [ arg ]
+    | PNew _ | PNewObj _ | PStr _ | PMake _ | PListNew _ | PMapNew _
+    | PArrNew _ | PIf _ | PLoop _ -> []
+
+  let body_of = function
+    | PIter { body; _ } | PIf { body; _ } | PLoop { body; _ } -> Some body
+    | _ -> None
+
+  let with_body s body =
+    match s with
+    | PIter r -> PIter { r with body }
+    | PIf r -> PIf { r with body }
+    | PLoop r -> PLoop { r with body }
+    | s -> s
+
+  let rec count_stmts stmts =
+    List.fold_left
+      (fun acc s ->
+        acc + 1
+        + match body_of s with Some b -> count_stmts b | None -> 0)
+      0 stmts
+
+  let stmt_count p = count_stmts p.p_stmts
+
+  (* ---- generation ---- *)
+
+  type rtyp = RObj | RCls of int | RStr | RList | RMap | RArr of int
+
+  type entry = {
+    e_id : int;
+    e_ty : rtyp;
+    e_nn : bool;  (* definitely non-null: eligible as a receiver *)
+    mutable e_filled : bool;  (* lists: definitely non-empty *)
+    mutable e_keys : int list;  (* maps: keys definitely put *)
+  }
+
+  type genv = {
+    g_rng : Rng.t;
+    g_classes : cls array;
+    mutable g_next : int;  (* fresh var counter *)
+    mutable g_budget : int;
+  }
+
+  let fresh g =
+    let v = g.g_next in
+    g.g_next <- v + 1;
+    v
+
+  let random_classes rng =
+    let n = Rng.range rng 2 5 in
+    Array.init n (fun c ->
+        {
+          k_parent =
+            (if c > 0 && Rng.chance rng 60 then Some (Rng.int rng c) else None);
+          k_nf = Rng.range rng 1 2;
+          k_act = Rng.int rng 3;
+        })
+
+  (* pick a var satisfying [pred] from [scope], newest-biased *)
+  let pick_var g scope pred =
+    let cands = List.filter pred scope in
+    match cands with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list cands in
+      (* bias towards recent definitions to create longer flow chains *)
+      let i = min (Rng.int g (Array.length arr)) (Rng.int g (Array.length arr)) in
+      Some arr.(i)
+
+  let is_ref e = match e.e_ty with RObj | RCls _ | RStr -> true | _ -> false
+  let is_cls e = match e.e_ty with RCls _ -> true | _ -> false
+  let is_list e = e.e_ty = RList
+  let is_map e = e.e_ty = RMap
+  let is_arr e = match e.e_ty with RArr _ -> true | _ -> false
+
+  (* Generate one statement given the in-scope entries (innermost first).
+     [definite] is true when the current program point is executed
+     unconditionally relative to the enclosing scope's entry — only then may
+     container population facts be recorded. Returns the statement plus the
+     entries it brings into scope. *)
+  let rec gen_stmt g ~scope ~definite ~depth : (pstmt * entry list) option =
+    let rng = g.g_rng in
+    let entry ?(nn = true) id ty = { e_id = id; e_ty = ty; e_nn = nn;
+                                     e_filled = false; e_keys = [] } in
+    let cond () = if Rng.bool rng then CEven else COdd in
+    (* candidate productions as (weight, thunk); thunks may still give up *)
+    let productions =
+      [
+        (6, fun () ->
+            let cls = Rng.int rng (Array.length g.g_classes) in
+            let v = fresh g in
+            Some (PNew { v; cls }, [ entry v (RCls cls) ]));
+        (3, fun () ->
+            let v = fresh g in
+            Some (PNewObj { v }, [ entry v RObj ]));
+        (2, fun () ->
+            let v = fresh g in
+            Some (PStr { v; tag = Rng.int rng 100 }, [ entry v RStr ]));
+        (2, fun () ->
+            let cls = Rng.int rng (Array.length g.g_classes) in
+            let v = fresh g in
+            Some (PMake { v; cls }, [ entry v (RCls cls) ]));
+        (3, fun () ->
+            match pick_var rng scope is_ref with
+            | Some src ->
+              (* rendered with a declared type of Object: pipe erases the
+                 static type, so class-typed use again needs a cast *)
+              let v = fresh g in
+              Some (PPipe { v; src = src.e_id }, [ entry ~nn:src.e_nn v RObj ])
+            | None -> None);
+        (4, fun () ->
+            match pick_var rng scope is_cls with
+            | Some src ->
+              let c = (match src.e_ty with RCls c -> c | _ -> assert false) in
+              (match ancestors g.g_classes c with
+              | [] -> None
+              | ancs ->
+                let anc = Rng.pick_list rng ancs in
+                let v = fresh g in
+                Some (PWiden { v; anc; src = src.e_id },
+                      [ entry ~nn:src.e_nn v (RCls anc) ]))
+            | None -> None);
+        (3, fun () ->
+            match (pick_var rng scope is_ref, pick_var rng scope is_ref) with
+            | Some a, Some b when a.e_id <> b.e_id ->
+              (* join two values under a round-varying condition; the static
+                 type is the closest common class ancestor, or Object *)
+              let anc =
+                match (a.e_ty, b.e_ty) with
+                | RCls ca, RCls cb ->
+                  let ancs_a = ca :: ancestors g.g_classes ca in
+                  let ancs_b = cb :: ancestors g.g_classes cb in
+                  List.find_opt (fun x -> List.mem x ancs_b) ancs_a
+                | _ -> None
+              in
+              let v = fresh g in
+              Some (PChoice { v; anc; a = a.e_id; b = b.e_id; cond = cond () },
+                    [ entry ~nn:(a.e_nn && b.e_nn) v
+                        (match anc with Some c -> RCls c | None -> RObj) ])
+            | _ -> None);
+        (6, fun () ->
+            match pick_var rng scope (fun e -> is_cls e && e.e_nn) with
+            | Some recv ->
+              let c = (match recv.e_ty with RCls c -> c | _ -> assert false) in
+              (match (accessors g.g_classes c, pick_var rng scope is_ref) with
+              | [], _ | _, None -> None
+              | accs, Some arg ->
+                Some (PSet { recv = recv.e_id; acc = Rng.pick_list rng accs;
+                             arg = arg.e_id }, []))
+            | None -> None);
+        (5, fun () ->
+            match pick_var rng scope (fun e -> is_cls e && e.e_nn) with
+            | Some recv ->
+              let c = (match recv.e_ty with RCls c -> c | _ -> assert false) in
+              (match accessors g.g_classes c with
+              | [] -> None
+              | accs ->
+                let v = fresh g in
+                Some (PGet { v; recv = recv.e_id; acc = Rng.pick_list rng accs },
+                      [ entry ~nn:false v RObj ]))
+            | None -> None);
+        (5, fun () ->
+            match pick_var rng scope (fun e -> is_cls e && e.e_nn) with
+            | Some recv ->
+              let v = fresh g in
+              Some (PVirt { v; recv = recv.e_id }, [ entry ~nn:false v RObj ])
+            | None -> None);
+        (4, fun () ->
+            (* guarded downcast: always safe, always leaves v non-null *)
+            match pick_var rng scope is_ref with
+            | Some src ->
+              let cls = Rng.int rng (Array.length g.g_classes) in
+              let v = fresh g in
+              Some (PCast { v; cls; src = src.e_id; guarded = true },
+                    [ entry v (RCls cls) ])
+            | None -> None);
+        (1, fun () ->
+            (* unguarded downcast to a strict subclass: may genuinely fail at
+               runtime, exercising the failed-cast ground truth (the trace
+               halts there, which the oracle tolerates) *)
+            match pick_var rng scope is_cls with
+            | Some src ->
+              let c = (match src.e_ty with RCls c -> c | _ -> assert false) in
+              (match descendants g.g_classes c with
+              | [] -> None
+              | ds ->
+                let cls = Rng.pick_list rng ds in
+                let v = fresh g in
+                Some (PCast { v; cls; src = src.e_id; guarded = false },
+                      [ entry ~nn:src.e_nn v (RCls cls) ]))
+            | None -> None);
+        (4, fun () ->
+            let v = fresh g in
+            Some (PListNew { v }, [ entry v RList ]));
+        (5, fun () ->
+            match (pick_var rng scope is_list, pick_var rng scope is_ref) with
+            | Some l, Some arg ->
+              if definite then l.e_filled <- true;
+              Some (PListAdd { list = l.e_id; arg = arg.e_id }, [])
+            | _ -> None);
+        (4, fun () ->
+            match pick_var rng scope (fun e -> is_list e && e.e_filled) with
+            | Some l ->
+              let v = fresh g in
+              Some (PListGet { v; list = l.e_id }, [ entry ~nn:false v RObj ])
+            | None -> None);
+        (2, fun () ->
+            let v = fresh g in
+            Some (PMapNew { v }, [ entry v RMap ]));
+        (3, fun () ->
+            match
+              (pick_var rng scope is_map,
+               pick_var rng scope (fun e -> is_ref e && e.e_nn),
+               pick_var rng scope is_ref)
+            with
+            | Some m, Some key, Some value ->
+              if definite then m.e_keys <- key.e_id :: m.e_keys;
+              Some (PMapPut { map = m.e_id; key = key.e_id;
+                              value = value.e_id }, [])
+            | _ -> None);
+        (3, fun () ->
+            match pick_var rng scope (fun e -> is_map e && e.e_keys <> []) with
+            | Some m ->
+              let key = Rng.pick_list rng m.e_keys in
+              (* the key may have gone out of scope if it was defined in a
+                 nested block; only use keys still visible here *)
+              if List.exists (fun e -> e.e_id = key) scope then begin
+                let v = fresh g in
+                Some (PMapGet { v; map = m.e_id; key }, [ entry ~nn:false v RObj ])
+              end
+              else None
+            | None -> None);
+        (2, fun () ->
+            let v = fresh g in
+            let len = Rng.range rng 2 4 in
+            Some (PArrNew { v; len }, [ entry v (RArr len) ]));
+        (3, fun () ->
+            match (pick_var rng scope is_arr, pick_var rng scope is_ref) with
+            | Some a, Some arg ->
+              let len = (match a.e_ty with RArr l -> l | _ -> assert false) in
+              Some (PArrStore { arr = a.e_id; idx = Rng.int rng len;
+                                arg = arg.e_id }, [])
+            | _ -> None);
+        (2, fun () ->
+            match pick_var rng scope is_arr with
+            | Some a ->
+              let len = (match a.e_ty with RArr l -> l | _ -> assert false) in
+              let v = fresh g in
+              Some (PArrLoad { v; arr = a.e_id; idx = Rng.int rng len },
+                    [ entry ~nn:false v RObj ])
+            | None -> None);
+        (3, fun () ->
+            match pick_var rng scope is_list with
+            | Some l ->
+              if depth >= 2 then None
+              else begin
+                let it = fresh g and elem = fresh g in
+                let body_scope =
+                  { e_id = elem; e_ty = RObj; e_nn = false; e_filled = false;
+                    e_keys = [] } :: scope
+                in
+                let body =
+                  gen_body g ~scope:body_scope ~definite:false ~depth:(depth + 1)
+                    ~len:(Rng.range rng 1 2)
+                in
+                Some (PIter { it; elem; list = l.e_id; body }, [])
+              end
+            | None -> None);
+        (3, fun () ->
+            if depth >= 2 then None
+            else
+              let body =
+                gen_body g ~scope ~definite:false ~depth:(depth + 1)
+                  ~len:(Rng.range rng 1 3)
+              in
+              if body = [] then None
+              else Some (PIf { cond = cond (); body }, []));
+        (3, fun () ->
+            if depth >= 2 then None
+            else begin
+              let i = fresh g in
+              let body =
+                (* fixed bound >= 1, so the body always executes: population
+                   facts established inside remain definite *)
+                gen_body g ~scope ~definite ~depth:(depth + 1)
+                  ~len:(Rng.range rng 1 3)
+              in
+              if body = [] then None
+              else Some (PLoop { i; n = Rng.range rng 1 3; body }, [])
+            end);
+        (1, fun () ->
+            match pick_var rng scope is_ref with
+            | Some x -> Some (PPrint { arg = x.e_id }, [])
+            | None -> None);
+      ]
+    in
+    let total = List.fold_left (fun a (w, _) -> a + w) 0 productions in
+    (* rejection-sample: try a few draws before giving up on this slot *)
+    let rec attempt tries =
+      if tries = 0 then None
+      else begin
+        let roll = Rng.int rng total in
+        let rec pick acc = function
+          | [] -> assert false
+          | (w, th) :: rest ->
+            if roll < acc + w then th () else pick (acc + w) rest
+        in
+        match pick 0 productions with
+        | Some r -> Some r
+        | None -> attempt (tries - 1)
+      end
+    in
+    attempt 4
+
+  and gen_body g ~scope ~definite ~depth ~len : pstmt list =
+    let scope = ref scope in
+    let out = ref [] in
+    let n = ref len in
+    while !n > 0 && g.g_budget > 0 do
+      (match gen_stmt g ~scope:!scope ~definite ~depth with
+      | Some (s, news) ->
+        g.g_budget <- g.g_budget - 1;
+        out := s :: !out;
+        scope := news @ !scope
+      | None -> ());
+      decr n
+    done;
+    List.rev !out
+
+  (* a fixed prelude so every program exercises allocation, widening,
+     virtual dispatch, containers and a guarded cast regardless of the
+     random draw *)
+  let gen_prelude g : pstmt list * entry list =
+    let entry ?(nn = true) id ty = { e_id = id; e_ty = ty; e_nn = nn;
+                                     e_filled = false; e_keys = [] } in
+    let rng = g.g_rng in
+    let nclasses = Array.length g.g_classes in
+    (* prefer a class with a parent, to guarantee a widening exists *)
+    let with_parent =
+      List.filter (fun c -> g.g_classes.(c).k_parent <> None)
+        (List.init nclasses Fun.id)
+    in
+    let c0 =
+      match with_parent with
+      | [] -> Rng.int rng nclasses
+      | cs -> Rng.pick_list rng cs
+    in
+    let v_obj = fresh g in
+    let v0 = fresh g in
+    let stmts = ref [ PNewObj { v = v_obj }; PNew { v = v0; cls = c0 } ] in
+    let scope = ref [ entry v0 (RCls c0); entry v_obj RObj ] in
+    (match g.g_classes.(c0).k_parent with
+    | Some anc ->
+      let vw = fresh g in
+      stmts := PWiden { v = vw; anc; src = v0 } :: !stmts;
+      scope := entry vw (RCls anc) :: !scope
+    | None -> ());
+    let va = fresh g in
+    stmts := PVirt { v = va; recv = v0 } :: !stmts;
+    scope := entry ~nn:false va RObj :: !scope;
+    let vl = fresh g in
+    stmts := PListNew { v = vl } :: !stmts;
+    let le = entry vl RList in
+    le.e_filled <- true;
+    scope := le :: !scope;
+    stmts := PListAdd { list = vl; arg = v0 } :: !stmts;
+    let vg = fresh g in
+    stmts := PListGet { v = vg; list = vl } :: !stmts;
+    scope := entry ~nn:false vg RObj :: !scope;
+    let vc = fresh g in
+    stmts := PCast { v = vc; cls = c0; src = vg; guarded = true } :: !stmts;
+    scope := entry vc (RCls c0) :: !scope;
+    (List.rev !stmts, !scope)
+
+  let generate ~seed ~max_size : plan =
+    let rng = Rng.create seed in
+    let classes = random_classes rng in
+    let g = { g_rng = rng; g_classes = classes; g_next = 0;
+              g_budget = max max_size 8 } in
+    let prelude, scope = gen_prelude g in
+    g.g_budget <- g.g_budget - List.length prelude;
+    let scope = ref scope in
+    let out = ref (List.rev prelude) in
+    while g.g_budget > 0 do
+      (match gen_stmt g ~scope:!scope ~definite:true ~depth:0 with
+      | Some (s, news) ->
+        out := s :: !out;
+        scope := news @ !scope
+      | None -> ());
+      g.g_budget <- g.g_budget - 1
+    done;
+    { p_seed = seed; p_classes = classes; p_stmts = List.rev !out;
+      p_rounds = Rng.range rng 2 3 }
+
+  (* ---- rendering ---- *)
+
+  let cls_name c = Printf.sprintf "A%d" c
+  let fld_name c j = Printf.sprintf "f%d_%d" c j
+  let vn v = Printf.sprintf "v%d" v
+
+  let cond_src = function
+    | CEven -> "round % 2 == 0"
+    | COdd -> "round % 2 == 1"
+
+  (* features actually used by the surviving statements; rendering emits
+     only these, so shrinking a plan sheds classes and methods too *)
+  type used = {
+    mutable u_classes : int list;
+    mutable u_accs : (int * int) list;
+    mutable u_act : bool;
+    mutable u_makes : int list;
+    mutable u_pipe : bool;
+  }
+
+  let collect_used classes stmts =
+    let u = { u_classes = []; u_accs = []; u_act = false; u_makes = [];
+              u_pipe = false } in
+    let add_cls c = if not (List.mem c u.u_classes) then
+        u.u_classes <- c :: u.u_classes in
+    let rec go s =
+      (match s with
+      | PNew { cls; _ } | PCast { cls; _ } -> add_cls cls
+      | PMake { cls; _ } ->
+        add_cls cls;
+        if not (List.mem cls u.u_makes) then u.u_makes <- cls :: u.u_makes
+      | PWiden { anc; _ } -> add_cls anc
+      | PChoice { anc = Some c; _ } -> add_cls c
+      | PSet { acc; _ } | PGet { acc; _ } ->
+        add_cls (fst acc);
+        if not (List.mem acc u.u_accs) then u.u_accs <- acc :: u.u_accs
+      | PVirt _ -> u.u_act <- true
+      | PPipe _ -> u.u_pipe <- true
+      | _ -> ());
+      match body_of s with Some b -> List.iter go b | None -> ()
+    in
+    List.iter go stmts;
+    (* close under superclasses: extends-clauses and widened receivers need
+       every ancestor present *)
+    let rec close c =
+      add_cls c;
+      match classes.(c).k_parent with Some p -> close p | None -> ()
+    in
+    List.iter close u.u_classes;
+    u
+
+  let render_class buf classes u c =
+    let k = classes.(c) in
+    let ext =
+      match k.k_parent with
+      | Some p -> Printf.sprintf " extends %s" (cls_name p)
+      | None -> ""
+    in
+    Printf.bprintf buf "class %s%s {\n" (cls_name c) ext;
+    for j = 0 to k.k_nf - 1 do
+      Printf.bprintf buf "  Object %s;\n" (fld_name c j)
+    done;
+    List.iter
+      (fun (ac, j) ->
+        if ac = c then begin
+          Printf.bprintf buf "  void set%d_%d(Object x) { this.%s = x; }\n" c j
+            (fld_name c j);
+          Printf.bprintf buf "  Object get%d_%d() { return this.%s; }\n" c j
+            (fld_name c j)
+        end)
+      u.u_accs;
+    if u.u_act then begin
+      match k.k_act with
+      | 0 ->
+        Printf.bprintf buf "  Object act() { return this.%s; }\n" (fld_name c 0)
+      | 2 when k.k_parent <> None ->
+        Printf.bprintf buf "  Object act() { Object r = super.act(); return r; }\n"
+      | _ ->
+        Printf.bprintf buf "  Object act() { Object r = new Object(); return r; }\n"
+    end;
+    Buffer.add_string buf "}\n\n"
+
+  let rec render_stmt buf ~indent s =
+    let pad = String.make indent ' ' in
+    let pf fmt = Printf.bprintf buf fmt in
+    match s with
+    | PNew { v; cls } ->
+      pf "%s%s %s = new %s();\n" pad (cls_name cls) (vn v) (cls_name cls)
+    | PNewObj { v } -> pf "%sObject %s = new Object();\n" pad (vn v)
+    | PStr { v; tag } -> pf "%sString %s = \"s%d\";\n" pad (vn v) tag
+    | PMake { v; cls } ->
+      pf "%s%s %s = Fact.make%d();\n" pad (cls_name cls) (vn v) cls
+    | PPipe { v; src } ->
+      (* declared Object: pipe erases the static type on purpose, so getting
+         it back needs a cast — the local-flow pattern's bread and butter *)
+      pf "%sObject %s = Flow.pipe(%s);\n" pad (vn v) (vn src)
+    | PWiden { v; anc; src } ->
+      pf "%s%s %s = %s;\n" pad (cls_name anc) (vn v) (vn src)
+    | PChoice { v; anc; a; b; cond } ->
+      let ty = match anc with Some c -> cls_name c | None -> "Object" in
+      pf "%s%s %s = %s;\n" pad ty (vn v) (vn a);
+      pf "%sif (%s) { %s = %s; }\n" pad (cond_src cond) (vn v) (vn b)
+    | PSet { recv; acc = (c, j); arg } ->
+      pf "%s%s.set%d_%d(%s);\n" pad (vn recv) c j (vn arg)
+    | PGet { v; recv; acc = (c, j) } ->
+      pf "%sObject %s = %s.get%d_%d();\n" pad (vn v) (vn recv) c j
+    | PVirt { v; recv } -> pf "%sObject %s = %s.act();\n" pad (vn v) (vn recv)
+    | PCast { v; cls; src; guarded = true } ->
+      pf "%s%s %s = new %s();\n" pad (cls_name cls) (vn v) (cls_name cls);
+      pf "%sif (%s instanceof %s) { %s = (%s) %s; }\n" pad (vn src)
+        (cls_name cls) (vn v) (cls_name cls) (vn src)
+    | PCast { v; cls; src; guarded = false } ->
+      pf "%s%s %s = (%s) %s;\n" pad (cls_name cls) (vn v) (cls_name cls) (vn src)
+    | PListNew { v } -> pf "%sArrayList %s = new ArrayList();\n" pad (vn v)
+    | PListAdd { list; arg } -> pf "%s%s.add(%s);\n" pad (vn list) (vn arg)
+    | PListGet { v; list } ->
+      pf "%sObject %s = %s.get(0);\n" pad (vn v) (vn list)
+    | PIter { it; elem; list; body } ->
+      pf "%sIterator it%d = %s.iterator();\n" pad it (vn list);
+      pf "%swhile (it%d.hasNext()) {\n" pad it;
+      pf "%s  Object %s = it%d.next();\n" pad (vn elem) it;
+      List.iter (render_stmt buf ~indent:(indent + 2)) body;
+      pf "%s}\n" pad
+    | PMapNew { v } -> pf "%sHashMap %s = new HashMap();\n" pad (vn v)
+    | PMapPut { map; key; value } ->
+      pf "%s%s.put(%s, %s);\n" pad (vn map) (vn key) (vn value)
+    | PMapGet { v; map; key } ->
+      pf "%sObject %s = %s.get(%s);\n" pad (vn v) (vn map) (vn key)
+    | PArrNew { v; len } ->
+      pf "%sObject[] %s = new Object[%d];\n" pad (vn v) len
+    | PArrStore { arr; idx; arg } ->
+      pf "%s%s[%d] = %s;\n" pad (vn arr) idx (vn arg)
+    | PArrLoad { v; arr; idx } ->
+      pf "%sObject %s = %s[%d];\n" pad (vn v) (vn arr) idx
+    | PIf { cond; body } ->
+      pf "%sif (%s) {\n" pad (cond_src cond);
+      List.iter (render_stmt buf ~indent:(indent + 2)) body;
+      pf "%s}\n" pad
+    | PLoop { i; n; body } ->
+      pf "%sfor (int i%d = 0; i%d < %d; i%d = i%d + 1) {\n" pad i i n i i;
+      List.iter (render_stmt buf ~indent:(indent + 2)) body;
+      pf "%s}\n" pad
+    | PPrint { arg } -> pf "%sSystem.print(%s);\n" pad (vn arg)
+
+  let render (p : plan) : string =
+    let buf = Buffer.create 4096 in
+    let u = collect_used p.p_classes p.p_stmts in
+    Array.iteri
+      (fun c _ -> if List.mem c u.u_classes then
+          render_class buf p.p_classes u c)
+      p.p_classes;
+    if u.u_makes <> [] then begin
+      Buffer.add_string buf "class Fact {\n";
+      List.iter
+        (fun c ->
+          Printf.bprintf buf
+            "  static %s make%d() { %s t = new %s(); %s r = t; return r; }\n"
+            (cls_name c) c (cls_name c) (cls_name c) (cls_name c))
+        (List.sort compare u.u_makes);
+      Buffer.add_string buf "}\n\n"
+    end;
+    if u.u_pipe then
+      Buffer.add_string buf
+        "class Flow {\n\
+        \  static Object pipe(Object x) { Object y = Flow.pipe2(x); return y; }\n\
+        \  static Object pipe2(Object x) { return x; }\n\
+         }\n\n";
+    Buffer.add_string buf "class Main {\n  static void main() {\n";
+    Buffer.add_string buf "    int round = 0;\n";
+    if p.p_rounds > 1 then begin
+      Printf.bprintf buf "    while (round < %d) {\n" p.p_rounds;
+      List.iter (render_stmt buf ~indent:6) p.p_stmts;
+      Buffer.add_string buf "      round = round + 1;\n    }\n"
+    end
+    else List.iter (render_stmt buf ~indent:4) p.p_stmts;
+    Buffer.add_string buf "  }\n}\n";
+    Buffer.contents buf
+
+  (* ---- shrinking ---- *)
+
+  (* Remove every statement that (transitively) uses a variable in [dead],
+     recursing into compound bodies; removing a statement kills its own
+     definitions too. Iterates to a fixpoint so any def-use cascade is
+     followed; the result is always a renderable plan. *)
+  let purge stmts dead =
+    let dead = ref dead in
+    let changed = ref true in
+    let alive = ref stmts in
+    let is_dead s = List.exists (fun v -> List.mem v !dead) (uses s) in
+    let rec sweep ss =
+      List.filter_map
+        (fun s ->
+          if is_dead s then begin
+            changed := true;
+            let rec kill s =
+              dead := defs s @ !dead;
+              match body_of s with
+              | Some b -> List.iter kill b
+              | None -> ()
+            in
+            kill s;
+            None
+          end
+          else
+            match body_of s with
+            | Some b -> Some (with_body s (sweep b))
+            | None -> Some s)
+        ss
+    in
+    while !changed do
+      changed := false;
+      alive := sweep !alive
+    done;
+    !alive
+
+  (* Candidate plans, roughly most-aggressive first: drop whole chunks of the
+     top level, drop any single statement anywhere in the tree (cascading
+     through its users), and collapse the rounds loop. The fuzzer greedily
+     re-applies these until no candidate still fails the oracle. *)
+  let shrink_candidates (p : plan) : plan list =
+    let out = ref [] in
+    let push stmts = out := { p with p_stmts = stmts } :: !out in
+    if p.p_rounds > 1 then out := { p with p_rounds = 1 } :: !out;
+    (* chunk removal at the top level *)
+    let top = Array.of_list p.p_stmts in
+    let n = Array.length top in
+    let chunk = ref (max 1 (n / 2)) in
+    while !chunk >= 1 do
+      let k = !chunk in
+      let i = ref 0 in
+      while !i < n do
+        let keep = ref [] in
+        let removed = ref [] in
+        Array.iteri
+          (fun j s ->
+            if j >= !i && j < !i + k then begin
+              let rec kill s =
+                removed := defs s @ !removed;
+                match body_of s with Some b -> List.iter kill b | None -> ()
+              in
+              kill s
+            end
+            else keep := s :: !keep)
+          top;
+        if !removed <> [] || k > 0 then
+          push (purge (List.rev !keep) !removed);
+        i := !i + k
+      done;
+      if k = 1 then chunk := 0 else chunk := max 1 (k / 2)
+    done;
+    (* single-statement removal inside compound bodies *)
+    let rec nested prefix ss =
+      List.iteri
+        (fun j s ->
+          match body_of s with
+          | Some b ->
+            List.iteri
+              (fun bj bs ->
+                let removed = ref [] in
+                let rec kill s =
+                  removed := defs s @ !removed;
+                  match body_of s with
+                  | Some b -> List.iter kill b
+                  | None -> ()
+                in
+                kill bs;
+                let b' = List.filteri (fun x _ -> x <> bj) b in
+                let s' = with_body s b' in
+                let top' =
+                  List.mapi (fun x t -> if x = j then s' else t) ss
+                in
+                let rebuilt = prefix top' in
+                push (purge rebuilt !removed))
+              b;
+            nested
+              (fun inner ->
+                prefix
+                  (List.mapi (fun x t -> if x = j then with_body s inner else t)
+                     ss))
+              b
+          | None -> ())
+        ss
+    in
+    nested (fun x -> x) p.p_stmts;
+    List.rev !out
+end

@@ -31,3 +31,42 @@ val small_shape : shape
 
 (** Generate a full MiniJava program (the frontend prepends the JDK). *)
 val generate : shape -> string
+
+(** Randomized, type-correct program generation for the soundness fuzzer.
+
+    [Rand] draws a random *plan* — a tree of typed statements (allocations,
+    widening copies, virtual calls, accessor calls, guarded and unguarded
+    casts, containers, arrays, bounded loops, round-varying branches) over a
+    random class table with inheritance — and renders it to MiniJava source.
+    Variables are globally numbered and defined exactly once, receivers are
+    always definitely non-null, and container reads only target definitely
+    populated containers, so generated programs compile, validate and
+    (almost always) run to completion; the rare unguarded downcast may fail
+    at runtime, which the fuzzer's partial-trace oracle tolerates.
+
+    Shrinking operates on plans, not source text: removing a statement
+    cascades through its def-use closure and rendering garbage-collects
+    classes and methods no surviving statement needs, so every candidate is
+    again a well-formed program. Same seed, same plan, byte-identical
+    source. *)
+module Rand : sig
+  type plan
+
+  (** Seed the plan was generated from (echoed into fuzz reports). *)
+  val seed_of : plan -> int
+
+  (** Number of plan statements (nested bodies included). *)
+  val stmt_count : plan -> int
+
+  (** [generate ~seed ~max_size] draws a plan of roughly [max_size]
+      statements (floored at 8, so the coverage prelude always fits). *)
+  val generate : seed:int -> max_size:int -> plan
+
+  (** Render to MiniJava source (the frontend prepends the JDK). *)
+  val render : plan -> string
+
+  (** Simplified variants of a failing plan, roughly most-aggressive first:
+      rounds-loop collapse, top-level chunk removal, then single-statement
+      removal anywhere in the tree. Every candidate is well-formed. *)
+  val shrink_candidates : plan -> plan list
+end
