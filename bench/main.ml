@@ -10,6 +10,8 @@
     - ablation: §5.1 per-pattern precision-impact study
     - checks  : flow-sensitive diagnostics counts per workload, CI vs CSC
     - collapse: solver cycle collapsing on/off (EXPERIMENTS.md E11)
+    - taint   : taint-client leak reports on the ground-truth corpus
+                (EXPERIMENTS.md E13)
     - micro   : Bechamel micro-benchmarks of the substrates
 
     Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
@@ -392,6 +394,121 @@ let collapse_exp cfg =
       Fmt.pr "@.")
     cfg.programs
 
+(* ------------------------------------------------------------ taint (E13) *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+module Taint = Csc_taint.Taint
+
+(* E13 (EXPERIMENTS.md): leak reports per analysis on the committed
+   ground-truth corpus under examples/leaks. Programs named *_leak contain a
+   flow every sound analysis must report; programs named *_ok are clean, so
+   any report on them is a false positive. The paper's precision claim
+   restated for the taint client: csc matches 2obj (zero false leaks) while
+   ci over-reports on the field / container / dispatch merge patterns. *)
+
+let leaks_dir () =
+  List.find_opt
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    [ "examples/leaks"; "../examples/leaks"; "../../examples/leaks" ]
+
+let leak_programs =
+  lazy
+    (match leaks_dir () with
+    | None ->
+      Fmt.epr "taint: examples/leaks not found (run from the repo root)@.";
+      []
+    | Some dir ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".mjava")
+      |> List.sort String.compare
+      |> List.map (fun f ->
+             ( Filename.chop_suffix f ".mjava",
+               Csc_lang.Frontend.compile_string
+                 (read_file (Filename.concat dir f)) )))
+
+let taint_analyses = [ Run.Imp_ci; Run.Imp_csc; Run.Imp_2obj ]
+
+(* corpus programs are tiny, so cells carry no timing: the regression gate
+   compares leak counts only *)
+let taint_cells_cache : (string * string * int) list option ref = ref None
+
+let taint_cells cfg : (string * string * int) list =
+  match !taint_cells_cache with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      List.concat_map
+        (fun (pname, p) ->
+          List.map
+            (fun a ->
+              let o = Run.run ~budget_s:cfg.budget p a in
+              let leaks =
+                match o.Run.o_result with
+                | None -> -1 (* timeout *)
+                | Some r ->
+                  List.length (Taint.diagnostics p (Taint.analyze p r))
+              in
+              (pname, Run.name a, leaks))
+            taint_analyses)
+        (Lazy.force leak_programs)
+    in
+    taint_cells_cache := Some cells;
+    cells
+
+let taint_exp cfg =
+  Fmt.pr
+    "@.=== Extension: taint leak reports on the ground-truth corpus (E13) \
+     ===@.";
+  Fmt.pr "%-24s %-9s %6s %9s@." "program" "analysis" "leaks" "expected";
+  let cells = taint_cells cfg in
+  List.iter
+    (fun (pname, aname, leaks) ->
+      let expected =
+        if Filename.check_suffix pname "_ok" then
+          if aname = "ci" then "0 or fp" else "0"
+        else ">=1"
+      in
+      Fmt.pr "%-24s %-9s %6d %9s@." pname aname leaks expected)
+    cells;
+  Fmt.pr "@.";
+  List.iter
+    (fun a ->
+      let aname = Run.name a in
+      let mine = List.filter (fun (_, an, _) -> an = aname) cells in
+      let false_leaks =
+        List.fold_left
+          (fun acc (p, _, n) ->
+            if Filename.check_suffix p "_ok" then acc + max 0 n else acc)
+          0 mine
+      in
+      let missed =
+        List.length
+          (List.filter
+             (fun (p, _, n) -> Filename.check_suffix p "_leak" && n = 0)
+             mine)
+      in
+      Fmt.pr "%-9s false leaks: %d   missed true leaks: %d@." aname
+        false_leaks missed)
+    taint_analyses
+
+let taint_json cfg : Json.t =
+  Json.Obj
+    [ ("experiment", Json.Str "taint");
+      ("cells",
+       Json.List
+         (List.map
+            (fun (pname, aname, leaks) ->
+              Json.Obj
+                [ ("program", Json.Str pname);
+                  ("analysis", Json.Str aname);
+                  ("metrics", Json.Obj [ ("leaks", Json.Int leaks) ]) ])
+            (taint_cells cfg))) ]
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -472,7 +589,7 @@ let micro () =
 
 let experiment_names =
   [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation"; "kstudy";
-    "extras"; "checks"; "collapse"; "micro" ]
+    "extras"; "checks"; "collapse"; "taint"; "micro" ]
 
 (* the (program, analysis) cells each experiment reads. Serializing an
    experiment maps its grid through the memo cache, so the report re-runs
@@ -505,6 +622,9 @@ let grid_of_experiment cfg exp : (string * Run.analysis) list =
   | _ -> []
 
 let experiment_json cfg exp : Json.t option =
+  (* taint cells come from the on-disk corpus, not the Suite grid *)
+  if exp = "taint" then Some (taint_json cfg)
+  else
   match grid_of_experiment cfg exp with
   | [] -> None
   | grid ->
@@ -603,12 +723,6 @@ let compare_reports ~soft_time ~baseline (reports : (string * Json.t) list) :
     reports;
   !failures
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
 (* ------------------------------------------------------------------- main *)
 
 let () =
@@ -677,7 +791,7 @@ let () =
       (* cheap (imperative) experiments first so interrupted runs still
          cover every experiment; the Datalog grid (table1/fig12) comes last *)
       [ "table2"; "collapse"; "recall"; "ablation"; "kstudy"; "extras";
-        "checks"; "micro"; "table3"; "table1"; "fig12" ]
+        "checks"; "taint"; "micro"; "table3"; "table1"; "fig12" ]
     else experiments
   in
   Fmt.pr "cutshortcut bench: programs=[%s] budget=%.0fs doop-budget=%.0fs@."
@@ -697,6 +811,7 @@ let () =
       | "extras" -> extras cfg
       | "checks" -> checks cfg
       | "collapse" -> collapse_exp cfg
+      | "taint" -> taint_exp cfg
       | "micro" -> micro ()
       | _ -> ());
       if json_mode <> None || compare_file <> None then

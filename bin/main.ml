@@ -335,6 +335,36 @@ let explain_cmd =
     Term.(const run $ program_arg $ analysis $ var $ limit $ budget_arg
           $ trace_arg)
 
+(* --fail-on SEVERITY: the checkers as a CI gate *)
+let severity_of_string s =
+  match s with
+  | "error" -> Csc_checks.Diagnostic.Error
+  | "warning" -> Csc_checks.Diagnostic.Warning
+  | "info" -> Csc_checks.Diagnostic.Info
+  | _ -> Fmt.invalid_arg "unknown severity %S (error, warning, info)" s
+
+let fail_on_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fail-on" ] ~docv:"SEVERITY"
+        ~doc:
+          "Exit with code 1 if any diagnostic at $(docv) (error, warning, \
+           info) or a more severe level is present — the checkers as a CI \
+           gate.")
+
+let exit_fail_on fail_on (ds : Csc_checks.Diagnostic.t list) =
+  match fail_on with
+  | None -> ()
+  | Some s ->
+    let rank = Csc_checks.Diagnostic.severity_rank (severity_of_string s) in
+    if
+      List.exists
+        (fun (d : Csc_checks.Diagnostic.t) ->
+          Csc_checks.Diagnostic.severity_rank d.d_severity <= rank)
+        ds
+    then exit 1
+
 let check_cmd =
   let analysis =
     let doc =
@@ -356,8 +386,8 @@ let check_cmd =
     Arg.(value & flag
          & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
   in
-  let run spec analysis checks json include_jdk budget validate no_collapse
-      trace =
+  let run spec analysis checks json include_jdk fail_on budget validate
+      no_collapse trace =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let o =
@@ -379,7 +409,8 @@ let check_cmd =
           (fun (c, n) -> Fmt.pr " %s=%d" c n)
           (Csc_checks.Checks.count_by_check ds);
         Fmt.pr "@."
-      end
+      end;
+      exit_fail_on fail_on ds
   in
   Cmd.v
     (Cmd.info "check"
@@ -387,7 +418,76 @@ let check_cmd =
          "Run the flow-sensitive checkers (null-deref, fail-cast, poly-call, \
           dead-store) backed by a pointer analysis")
     Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
-          $ budget_arg $ validate_arg $ no_collapse_arg $ trace_arg)
+          $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
+          $ trace_arg)
+
+let taint_cmd =
+  let analysis =
+    let doc =
+      "Analysis backing the taint propagation (a more precise analysis \
+       reports fewer spurious leaks)."
+    in
+    Arg.(value & opt string "csc" & info [ "analysis"; "a" ] ~doc)
+  in
+  let spec_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:
+            "JSON taint spec: an object with \"sources\", \"sinks\" and \
+             \"sanitizers\" lists of Class.method patterns (* globs). \
+             Default: the builtin Flow/Request/Db/Sanitizer table.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  let include_jdk =
+    Arg.(value & flag
+         & info [ "include-jdk" ] ~doc:"Report leaks in mini-JDK code too.")
+  in
+  let run spec analysis spec_file json include_jdk fail_on budget validate
+      no_collapse trace =
+    with_trace trace @@ fun () ->
+    let tspec =
+      match spec_file with
+      | None -> Csc_taint.Taint_spec.builtin
+      | Some f -> (
+        match Csc_taint.Taint_spec.load f with
+        | Ok s -> s
+        | Error e ->
+          Fmt.epr "cannot load taint spec %s: %s@." f e;
+          exit 2)
+    in
+    let p = load_program spec in
+    let o =
+      Run.run ?budget_s:(budget_opt budget) ~validate
+        ~collapse:(not no_collapse) p (analysis_of_string analysis)
+    in
+    match o.Run.o_result with
+    | None -> Fmt.epr "analysis %s timed out after %.1fs@." analysis o.Run.o_time
+    | Some r ->
+      let res = Csc_taint.Taint.analyze ~spec:tspec p r in
+      let ds = Csc_taint.Taint.diagnostics ~include_jdk p res in
+      if json then print_string (Csc_checks.Diagnostic.render_json p ds)
+      else begin
+        List.iter
+          (fun d -> Fmt.pr "%a@." (Csc_checks.Diagnostic.pp_text p) d)
+          ds;
+        Fmt.pr "%d leak(s) under %s, %d tainted object(s)@." (List.length ds)
+          o.Run.o_analysis
+          (Csc_common.Bits.cardinal res.Csc_taint.Taint.t_tainted_objs)
+      end;
+      exit_fail_on fail_on ds
+  in
+  Cmd.v
+    (Cmd.info "taint"
+       ~doc:
+         "Source→sink taint analysis over the PTA call graph: report call \
+          sites where a tainted value may reach a sink")
+    Term.(const run $ program_arg $ analysis $ spec_file $ json $ include_jdk
+          $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
+          $ trace_arg)
 
 let callgraph_cmd =
   let analysis =
@@ -531,7 +631,7 @@ let main_cmd =
     (Cmd.info "cutshortcut" ~version:"1.0.0"
        ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
     [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; explain_cmd;
-      check_cmd; recall_cmd; callgraph_cmd; pts_cmd; fuzz_cmd ]
+      check_cmd; taint_cmd; recall_cmd; callgraph_cmd; pts_cmd; fuzz_cmd ]
 
 (* cmdliner reserves double-dash spellings for multi-char names, but the
    documented fuzz interface is `--n N`; accept it as an alias of `-n` *)

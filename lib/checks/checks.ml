@@ -80,7 +80,8 @@ let run_all ?(checks : string list option) ?(include_jdk = false)
                (Ir.class_name p (Ir.metho p d.Diagnostic.d_method).Ir.m_class)))
         ds
   in
-  List.sort Diagnostic.compare ds
+  (* sort_uniq: keep output deterministic and free of duplicate findings *)
+  List.sort_uniq Diagnostic.compare ds
 
 (** Diagnostic count per checker, over the given list. *)
 let count_by_check (ds : Diagnostic.t list) : (string * int) list =

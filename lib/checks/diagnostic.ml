@@ -79,9 +79,11 @@ let to_json (p : Ir.program) (d : t) : string =
     | None -> ""
     | Some w -> Printf.sprintf ",\"witness\":\"%s\"" (json_escape w))
 
-(** A diagnostic list as a JSON array (sorted, one object per line). *)
+(** A diagnostic list as a JSON array, deterministic: stable-sorted by
+    (method, path, severity, check, message) with identical findings
+    deduplicated, one object per line. *)
 let render_json (p : Ir.program) (ds : t list) : string =
-  let ds = List.sort compare ds in
+  let ds = List.sort_uniq compare ds in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "[";
   List.iteri

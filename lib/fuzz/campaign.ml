@@ -49,6 +49,8 @@ type case = {
   c_source : string;          (** original failing source *)
   c_min_source : string option;   (** minimized source, when [minimize] *)
   c_min_app_stmts : int option;   (** app IR statements of the minimized program *)
+  c_planted_leaks : int;      (** taint chains planted by the generator *)
+  c_planted_sanitized : int;  (** sanitized chains planted by the generator *)
 }
 
 type report = {
@@ -141,6 +143,8 @@ let case_meta (c : case) : Json.t =
       ("minimized", Json.Bool (c.c_min_source <> None));
       ( "min_app_stmts",
         match c.c_min_app_stmts with Some n -> Json.Int n | None -> Json.Null );
+      ("planted_leaks", Json.Int c.c_planted_leaks);
+      ("planted_sanitized", Json.Int c.c_planted_sanitized);
     ]
 
 let write_case dir (c : case) =
@@ -161,6 +165,8 @@ let run (cfg : cfg) : report =
   let c_gen_errors = Registry.counter reg "fuzz_gen_errors" in
   let c_halted = Registry.counter reg "fuzz_halted_traces" in
   let c_shrink = Registry.counter reg "fuzz_shrink_checks" in
+  let c_taint_progs = Registry.counter reg "fuzz_taint_programs" in
+  let c_taint_hits = Registry.counter reg "fuzz_taint_sink_hits" in
   let g_pps = Registry.gauge reg "fuzz_progs_per_s" in
   let master = Rng.create cfg.seed in
   let failed = ref [] in
@@ -197,12 +203,27 @@ let run (cfg : cfg) : report =
                   c_source = Gen.Rand.render plan;
                   c_min_source = None;
                   c_min_app_stmts = None;
+                  c_planted_leaks = Gen.Rand.planted_leaks plan;
+                  c_planted_sanitized = Gen.Rand.planted_sanitized plan;
                 }
                 :: !failed
             | src, p -> (
-              let dyn = Csc_interp.Interp.run_trace ~max_steps:2_000_000 p in
+              let taint =
+                if Csc_taint.Taint.relevant Csc_taint.Taint_spec.builtin p
+                then begin
+                  Registry.incr c_taint_progs;
+                  Some (Csc_taint.Taint.hooks Csc_taint.Taint_spec.builtin p)
+                end
+                else None
+              in
+              let dyn =
+                Csc_interp.Interp.run_trace ~max_steps:2_000_000 ?taint p
+              in
               if dyn.Csc_interp.Interp.halted <> None then
                 Registry.incr c_halted;
+              Registry.incr
+                ~by:(Bits.cardinal dyn.Csc_interp.Interp.dyn_taint_sinks)
+                c_taint_hits;
               match Soundness.check p with
               | [] -> ()
               | violations ->
@@ -231,6 +252,8 @@ let run (cfg : cfg) : report =
                     c_source = src;
                     c_min_source = min_source;
                     c_min_app_stmts = min_stmts;
+                    c_planted_leaks = Gen.Rand.planted_leaks plan;
+                    c_planted_sanitized = Gen.Rand.planted_sanitized plan;
                   }
                 in
                 Option.iter (fun dir -> write_case dir case) cfg.out_dir;

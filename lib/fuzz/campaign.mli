@@ -31,6 +31,8 @@ type case = {
   c_source : string;
   c_min_source : string option;
   c_min_app_stmts : int option;
+  c_planted_leaks : int;      (** taint chains planted by the generator *)
+  c_planted_sanitized : int;  (** sanitized chains planted by the generator *)
 }
 
 type report = {

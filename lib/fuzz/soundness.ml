@@ -16,12 +16,15 @@ module Solver = Csc_pta.Solver
 module Run = Csc_driver.Run
 module Metrics = Csc_clients.Metrics
 module Jdk = Csc_lang.Jdk
+module Taint = Csc_taint.Taint
+module Taint_spec = Csc_taint.Taint_spec
 
 type kind =
   | Unsound_reach  (** dynamically entered method not statically reachable *)
   | Unsound_edge   (** dynamic call edge missing from the static call graph *)
   | Unsound_pt     (** observed allocation site missing from a points-to set *)
   | Unsound_cast   (** cast failed at runtime but not in [may_fail_casts] *)
+  | Unsound_taint  (** dynamic sink hit missing from the static leak report *)
   | Engine_mismatch    (** imperative and Datalog CI results differ *)
   | Collapse_mismatch  (** cycle collapsing changed an observable result *)
   | Analysis_crash     (** an analysis raised or timed out on a tiny program *)
@@ -31,6 +34,7 @@ let kind_name = function
   | Unsound_edge -> "unsound-edge"
   | Unsound_pt -> "unsound-pt"
   | Unsound_cast -> "unsound-cast"
+  | Unsound_taint -> "unsound-taint"
   | Engine_mismatch -> "engine-mismatch"
   | Collapse_mismatch -> "collapse-mismatch"
   | Analysis_crash -> "analysis-crash"
@@ -118,6 +122,38 @@ let check_result (p : Ir.program) (dyn : Interp.outcome) aname
     dyn.Interp.dyn_fail_casts;
   List.rev !out
 
+(* ---- taint oracle: dynamic sink hits ⊆ static leak sites ---- *)
+
+let check_taint (p : Ir.program) (dyn : Interp.outcome) aname
+    (r : Solver.result) : violation list =
+  if Bits.is_empty dyn.Interp.dyn_taint_sinks then []
+  else
+    match Taint.analyze p r with
+    | tres ->
+      Bits.fold
+        (fun site acc ->
+          if Bits.mem tres.Taint.t_leak_sites site then acc
+          else
+            {
+              v_kind = Unsound_taint;
+              v_analysis = aname;
+              v_detail =
+                Fmt.str
+                  "tainted value reached sink at cs%d but no leak is reported"
+                  site;
+            }
+            :: acc)
+        dyn.Interp.dyn_taint_sinks []
+      |> List.rev
+    | exception e ->
+      [
+        {
+          v_kind = Analysis_crash;
+          v_analysis = aname ^ "+taint";
+          v_detail = Printexc.to_string e;
+        };
+      ]
+
 (* ---- cross-checks: results that must agree exactly ---- *)
 
 let sorted_edges (r : Solver.result) = List.sort compare r.Solver.r_edges
@@ -154,7 +190,14 @@ let cross_check p aname bname a b kind : violation list =
     the program exposes no bug. [max_steps] bounds the concrete run. *)
 let check ?(matrix = default_matrix) ?(max_steps = 2_000_000)
     (p : Ir.program) : violation list =
-  let dyn = Interp.run_trace ~max_steps p in
+  (* dynamic taint tags ride along whenever the program has both a source
+     and a sink under the builtin spec (the generator's [Flow] surface) *)
+  let taint =
+    if Taint.relevant Taint_spec.builtin p then
+      Some (Taint.hooks Taint_spec.builtin p)
+    else None
+  in
+  let dyn = Interp.run_trace ~max_steps ?taint p in
   let results =
     List.map
       (fun a ->
@@ -186,7 +229,7 @@ let check ?(matrix = default_matrix) ?(max_steps = 2_000_000)
     List.concat_map
       (fun (_, aname, res) ->
         match res with
-        | Ok r -> check_result p dyn aname r
+        | Ok r -> check_result p dyn aname r @ check_taint p dyn aname r
         | Error v -> [ v ])
       results
   in

@@ -2,9 +2,10 @@
 
     Executes a program once (partial traces from runtime errors are still
     valid lower bounds), then checks dynamic ⊆ static — reachable methods,
-    call edges, per-variable points-to sets, failing casts — for every
-    engine/configuration in {!default_matrix}, plus exact-agreement
-    cross-checks (imperative vs. Datalog CI, cycle collapsing on vs. off). *)
+    call edges, per-variable points-to sets, failing casts, and taint sink
+    hits vs. the static leak report — for every engine/configuration in
+    {!default_matrix}, plus exact-agreement cross-checks (imperative vs.
+    Datalog CI, cycle collapsing on vs. off). *)
 
 module Ir = Csc_ir.Ir
 module Run = Csc_driver.Run
@@ -15,6 +16,7 @@ type kind =
   | Unsound_edge   (** dynamic call edge missing from the static call graph *)
   | Unsound_pt     (** observed allocation site missing from a points-to set *)
   | Unsound_cast   (** cast failed at runtime but not in [may_fail_casts] *)
+  | Unsound_taint  (** dynamic sink hit missing from the static leak report *)
   | Engine_mismatch    (** imperative and Datalog CI results differ *)
   | Collapse_mismatch  (** cycle collapsing changed an observable result *)
   | Analysis_crash     (** an analysis raised or timed out on a tiny program *)

@@ -30,9 +30,22 @@ type outcome = {
       (** per-variable observed allocation sites (indexed by [var_id]);
           [[||]] unless [record_pts] was set *)
   dyn_fail_casts : Bits.t;           (** cast sites observed to fail *)
+  dyn_taint_sinks : Bits.t;
+      (** call sites where a dynamically tainted value reached a sink
+          argument; empty unless taint hooks were installed *)
   halted : string option;
       (** [Some msg] iff execution stopped on a runtime error; everything
           recorded up to the halt is still valid ground truth *)
+}
+
+(** Dynamic taint instrumentation: classifies callees by method id. A call
+    to a source taints the returned address, a call to a sanitizer untaints
+    it, and a call to a sink records the call site in [dyn_taint_sinks]
+    whenever some reference argument carries taint. *)
+type taint_hooks = {
+  th_source : Ir.method_id -> bool;
+  th_sink : Ir.method_id -> bool;
+  th_sanitizer : Ir.method_id -> bool;
 }
 
 exception Runtime_error of string
@@ -52,6 +65,9 @@ type state = {
   max_steps : int;
   var_pts : Bits.t array;  (* per-var observed alloc sites; [||] = off *)
   fail_casts : Bits.t;
+  taint : taint_hooks option;
+  tainted : Bits.t;        (* heap addresses currently carrying taint *)
+  taint_sinks : Bits.t;    (* call sites where taint reached a sink arg *)
 }
 
 let alloc st cell site =
@@ -244,7 +260,20 @@ and exec_stmt st fr (s : Ir.stmt) : unit =
         | _ -> error "virtual call on non-object")
     in
     Hashtbl.replace st.edges (site, callee) ();
+    (match st.taint with
+    | Some h when h.th_sink callee ->
+      if
+        Array.exists
+          (function VRef a -> Bits.mem st.tainted a | _ -> false)
+          argv
+      then ignore (Bits.add st.taint_sinks site)
+    | _ -> ());
     let result = call_method st callee recv_v argv in
+    (match (st.taint, result) with
+    | Some h, VRef a ->
+      if h.th_source callee then ignore (Bits.add st.tainted a)
+      else if h.th_sanitizer callee then Bits.remove st.tainted a
+    | _ -> ());
     (match lhs with Some l -> set_var st fr l result | None -> ())
   | Return None -> raise (Return_value VNull)
   | Return (Some v) -> raise (Return_value (get_var fr v))
@@ -311,7 +340,7 @@ and call_method st (mid : Ir.method_id) (recv : value option) (argv : value arra
   | () -> VNull (* fell off the end *)
   | exception Return_value v -> v
 
-let make_state ~max_steps ~record_pts (prog : Ir.program) : state =
+let make_state ~max_steps ~record_pts ?taint (prog : Ir.program) : state =
   {
     prog;
     heap = Vec.create (HStr "");
@@ -327,6 +356,9 @@ let make_state ~max_steps ~record_pts (prog : Ir.program) : state =
          Array.init (Array.length prog.vars) (fun _ -> Bits.create ())
        else [||]);
     fail_casts = Bits.create ();
+    taint;
+    tainted = Bits.create ();
+    taint_sinks = Bits.create ();
   }
 
 let outcome_of_state st ~halted : outcome =
@@ -337,15 +369,16 @@ let outcome_of_state st ~halted : outcome =
     steps = st.steps;
     dyn_pt = st.var_pts;
     dyn_fail_casts = st.fail_casts;
+    dyn_taint_sinks = st.taint_sinks;
     halted;
   }
 
 (** Run [prog] from its [main]. [max_steps] bounds execution (default 50M);
     [record_pts] (default false, it costs on the hot path) additionally
-    fills [dyn_pt]. *)
-let run ?(max_steps = 50_000_000) ?(record_pts = false) (prog : Ir.program) :
-    outcome =
-  let st = make_state ~max_steps ~record_pts prog in
+    fills [dyn_pt]. [taint] installs dynamic taint instrumentation. *)
+let run ?(max_steps = 50_000_000) ?(record_pts = false) ?taint
+    (prog : Ir.program) : outcome =
+  let st = make_state ~max_steps ~record_pts ?taint prog in
   ignore (call_method st prog.main None [||]);
   outcome_of_state st ~halted:None
 
@@ -353,8 +386,8 @@ let run ?(max_steps = 50_000_000) ?(record_pts = false) (prog : Ir.program) :
     instead of raising: the outcome carries everything observed up to the
     halt (still a valid under-approximation of any sound static analysis)
     plus the error in [halted]. The soundness fuzzer is built on this. *)
-let run_trace ?(max_steps = 50_000_000) (prog : Ir.program) : outcome =
-  let st = make_state ~max_steps ~record_pts:true prog in
+let run_trace ?(max_steps = 50_000_000) ?taint (prog : Ir.program) : outcome =
+  let st = make_state ~max_steps ~record_pts:true ?taint prog in
   match ignore (call_method st prog.main None [||]) with
   | () -> outcome_of_state st ~halted:None
   | exception Runtime_error msg -> outcome_of_state st ~halted:(Some msg)

@@ -24,6 +24,9 @@ type outcome = {
           points-to recording was enabled. *)
   dyn_fail_casts : Csc_common.Bits.t;
       (** cast sites observed to fail at least once *)
+  dyn_taint_sinks : Csc_common.Bits.t;
+      (** call sites where a dynamically tainted value reached a sink
+          argument; empty unless taint hooks were installed *)
   halted : string option;
       (** [Some msg] iff execution stopped on a runtime error (only
           {!run_trace} produces this — {!run} raises instead). Facts
@@ -34,16 +37,30 @@ type outcome = {
     bounds, division by zero, or an exhausted step budget. *)
 exception Runtime_error of string
 
+(** Dynamic taint instrumentation, keyed by the *resolved* callee of every
+    call: a source call taints the address it returns, a sanitizer call
+    untaints the address it returns, and a sink call records its call site
+    in [dyn_taint_sinks] whenever some reference argument is tainted at
+    entry. Taint lives on heap addresses, so it follows the value through
+    copies, fields, containers and arrays for free. *)
+type taint_hooks = {
+  th_source : Ir.method_id -> bool;
+  th_sink : Ir.method_id -> bool;
+  th_sanitizer : Ir.method_id -> bool;
+}
+
 (** [run ?max_steps prog] executes [prog.main] to completion.
     [max_steps] (default 50M) bounds execution so generator or frontend bugs
     surface as {!Runtime_error} instead of hangs. [record_pts] (default
     [false] — it costs on the interpreter hot path) additionally fills
-    [dyn_pt]. *)
-val run : ?max_steps:int -> ?record_pts:bool -> Ir.program -> outcome
+    [dyn_pt]. [taint] installs dynamic taint instrumentation. *)
+val run :
+  ?max_steps:int -> ?record_pts:bool -> ?taint:taint_hooks -> Ir.program ->
+  outcome
 
 (** [run_trace ?max_steps prog] is {!run} with points-to recording always on
     and runtime errors captured rather than raised: on a runtime error the
     partial trace observed so far is returned with [halted = Some msg]. The
     soundness fuzzer uses this so generated programs that trip over an
     unguarded cast or null field still contribute ground truth. *)
-val run_trace : ?max_steps:int -> Ir.program -> outcome
+val run_trace : ?max_steps:int -> ?taint:taint_hooks -> Ir.program -> outcome

@@ -1,0 +1,99 @@
+(** Declarative taint specifications: which methods produce tainted values
+    (sources), which must never receive them (sinks), and which launder them
+    (sanitizers).
+
+    Methods are named by [Class.method] patterns with [*] globbing, so a spec
+    stays stable across programs that share a naming convention. A builtin
+    table covers the surface the generator and the examples use ([Flow],
+    [Request]/[Db]/[Sanitizer]); a JSON file extends or replaces it via the
+    CLI's [--spec].
+
+    Conventions the analysis relies on (see DESIGN.md): sources return a
+    freshly allocated object, and sanitizers return a fresh (clean) object
+    rather than their argument. Identity-style sanitizers are still sound to
+    declare — the static side may then over-report, never under-report. *)
+
+module Json = Csc_obs.Json
+module Ir = Csc_ir.Ir
+
+type t = {
+  sources : string list;
+  sinks : string list;
+  sanitizers : string list;
+}
+
+type role = Source | Sink | Sanitizer
+
+let role_name = function
+  | Source -> "source"
+  | Sink -> "sink"
+  | Sanitizer -> "sanitizer"
+
+(** The builtin table: the generator's [Flow] surface plus the
+    [Request]/[Db]/[Sanitizer] web-ish vocabulary of the examples. *)
+let builtin =
+  {
+    sources = [ "Flow.source*"; "Request.read*"; "Source.*" ];
+    sinks = [ "Flow.sink*"; "Db.exec*"; "Sink.*" ];
+    sanitizers = [ "Flow.scrub*"; "Sanitizer.*" ];
+  }
+
+(** Classic glob match; [*] matches any (possibly empty) substring,
+    everything else is literal. *)
+let matches (pat : string) (name : string) : bool =
+  let np = String.length pat and nn = String.length name in
+  let rec go i j =
+    if i = np then j = nn
+    else
+      match pat.[i] with
+      | '*' -> go (i + 1) j || (j < nn && go i (j + 1))
+      | c -> j < nn && name.[j] = c && go (i + 1) (j + 1)
+  in
+  go 0 0
+
+let matches_any pats name = List.exists (fun p -> matches p name) pats
+
+let is_source t p mid = matches_any t.sources (Ir.method_name p mid)
+let is_sink t p mid = matches_any t.sinks (Ir.method_name p mid)
+let is_sanitizer t p mid = matches_any t.sanitizers (Ir.method_name p mid)
+
+(** First matching role, sanitizers binding tightest (a method that both
+    matches a sanitizer and a source pattern launders, not leaks). *)
+let classify t p mid : role option =
+  if is_sanitizer t p mid then Some Sanitizer
+  else if is_sink t p mid then Some Sink
+  else if is_source t p mid then Some Source
+  else None
+
+(* ------------------------------------------------------------------ JSON *)
+
+let strings_of (j : Json.t) (key : string) : (string list, string) result =
+  match Json.member key j with
+  | None -> Ok []
+  | Some (Json.List items) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Str s :: rest -> go (s :: acc) rest
+      | _ -> Error (Printf.sprintf "spec: %S must be a list of strings" key)
+    in
+    go [] items
+  | Some _ -> Error (Printf.sprintf "spec: %S must be a list of strings" key)
+
+(** Parse [{"sources": [...], "sinks": [...], "sanitizers": [...]}]; each key
+    is optional and defaults to empty. *)
+let of_json (j : Json.t) : (t, string) result =
+  match j with
+  | Json.Obj _ -> (
+    match (strings_of j "sources", strings_of j "sinks", strings_of j "sanitizers")
+    with
+    | Ok sources, Ok sinks, Ok sanitizers -> Ok { sources; sinks; sanitizers }
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  | _ -> Error "spec: expected a JSON object"
+
+let of_string (s : string) : (t, string) result =
+  match Json.parse s with Ok j -> of_json j | Error e -> Error ("spec: " ^ e)
+
+let load (path : string) : (t, string) result =
+  match In_channel.with_open_text path In_channel.input_all with
+  | s -> of_string s
+  | exception Sys_error e -> Error e

@@ -517,15 +517,22 @@ module Rand = struct
     | PIf of { cond : cond; body : pstmt list }
     | PLoop of { i : int; n : int; body : pstmt list }
     | PPrint of { arg : int }
+    | PSource of { v : int }  (* Object v = Flow.source();  taint source *)
+    | PScrub of { v : int; src : int }  (* Object v = Flow.scrub(src); *)
+    | PSink of { arg : int }  (* Flow.sink(arg);  taint sink *)
 
   type plan = {
     p_seed : int;
     p_classes : cls array;
     p_stmts : pstmt list;
     p_rounds : int;
+    p_taint_leaks : int;  (* planted source->sink chains (ground truth) *)
+    p_taint_sanitized : int;  (* planted source->scrub->sink chains *)
   }
 
   let seed_of p = p.p_seed
+  let planted_leaks p = p.p_taint_leaks
+  let planted_sanitized p = p.p_taint_sanitized
 
   (* ---- class-table helpers ---- *)
 
@@ -556,13 +563,15 @@ module Rand = struct
     | PPipe { v; _ } | PWiden { v; _ } | PChoice { v; _ } | PGet { v; _ }
     | PVirt { v; _ } | PCast { v; _ } | PListNew { v } | PListGet { v; _ }
     | PMapNew { v } | PMapGet { v; _ } | PArrNew { v; _ }
-    | PArrLoad { v; _ } -> [ v ]
+    | PArrLoad { v; _ } | PSource { v } | PScrub { v; _ } -> [ v ]
     | PIter { it; elem; _ } -> [ it; elem ]
     | PLoop { i; _ } -> [ i ]
-    | PSet _ | PListAdd _ | PMapPut _ | PArrStore _ | PIf _ | PPrint _ -> []
+    | PSet _ | PListAdd _ | PMapPut _ | PArrStore _ | PIf _ | PPrint _
+    | PSink _ -> []
 
   let uses = function
-    | PPipe { src; _ } | PWiden { src; _ } | PCast { src; _ } -> [ src ]
+    | PPipe { src; _ } | PWiden { src; _ } | PCast { src; _ }
+    | PScrub { src; _ } -> [ src ]
     | PChoice { a; b; _ } -> [ a; b ]
     | PSet { recv; arg; _ } -> [ recv; arg ]
     | PGet { recv; _ } | PVirt { recv; _ } -> [ recv ]
@@ -572,9 +581,9 @@ module Rand = struct
     | PMapGet { map; key; _ } -> [ map; key ]
     | PArrStore { arr; arg; _ } -> [ arr; arg ]
     | PArrLoad { arr; _ } -> [ arr ]
-    | PPrint { arg } -> [ arg ]
+    | PPrint { arg } | PSink { arg } -> [ arg ]
     | PNew _ | PNewObj _ | PStr _ | PMake _ | PListNew _ | PMapNew _
-    | PArrNew _ | PIf _ | PLoop _ -> []
+    | PArrNew _ | PIf _ | PLoop _ | PSource _ -> []
 
   let body_of = function
     | PIter { body; _ } | PIf { body; _ } | PLoop { body; _ } -> Some body
@@ -866,6 +875,23 @@ module Rand = struct
             match pick_var rng scope is_ref with
             | Some x -> Some (PPrint { arg = x.e_id }, [])
             | None -> None);
+        (2, fun () ->
+            (* taint source: a fresh, tainted Object *)
+            let v = fresh g in
+            Some (PSource { v }, [ entry v RObj ]));
+        (2, fun () ->
+            (* sanitizer: launders whatever flows in (returns a fresh clean
+               object, so the result is never tainted) *)
+            match pick_var rng scope is_ref with
+            | Some src ->
+              let v = fresh g in
+              Some (PScrub { v; src = src.e_id }, [ entry v RObj ])
+            | None -> None);
+        (2, fun () ->
+            (* sink: a dynamic leak iff the argument carries taint here *)
+            match pick_var rng scope is_ref with
+            | Some x -> Some (PSink { arg = x.e_id }, [])
+            | None -> None);
       ]
     in
     let total = List.fold_left (fun a (w, _) -> a + w) 0 productions in
@@ -963,8 +989,27 @@ module Rand = struct
       | None -> ());
       g.g_budget <- g.g_budget - 1
     done;
+    (* plant ground-truth flows at the end of the program, where every value
+       they produce is guaranteed to reach the sink: one leaking
+       source->pipe->sink chain and one sanitized source->scrub->sink chain
+       (each with independent probability, so programs without planted flows
+       keep exercising the organic source/sink productions) *)
+    let planted_leaks = ref 0 and planted_san = ref 0 in
+    if Rng.chance rng 60 then begin
+      let vs = fresh g and vp = fresh g in
+      out := PSink { arg = vp } :: PPipe { v = vp; src = vs }
+             :: PSource { v = vs } :: !out;
+      incr planted_leaks
+    end;
+    if Rng.chance rng 60 then begin
+      let vs = fresh g and vc = fresh g in
+      out := PSink { arg = vc } :: PScrub { v = vc; src = vs }
+             :: PSource { v = vs } :: !out;
+      incr planted_san
+    end;
     { p_seed = seed; p_classes = classes; p_stmts = List.rev !out;
-      p_rounds = Rng.range rng 2 3 }
+      p_rounds = Rng.range rng 2 3; p_taint_leaks = !planted_leaks;
+      p_taint_sanitized = !planted_san }
 
   (* ---- rendering ---- *)
 
@@ -984,11 +1029,15 @@ module Rand = struct
     mutable u_act : bool;
     mutable u_makes : int list;
     mutable u_pipe : bool;
+    mutable u_source : bool;
+    mutable u_sink : bool;
+    mutable u_scrub : bool;
   }
 
   let collect_used classes stmts =
     let u = { u_classes = []; u_accs = []; u_act = false; u_makes = [];
-              u_pipe = false } in
+              u_pipe = false; u_source = false; u_sink = false;
+              u_scrub = false } in
     let add_cls c = if not (List.mem c u.u_classes) then
         u.u_classes <- c :: u.u_classes in
     let rec go s =
@@ -1004,6 +1053,9 @@ module Rand = struct
         if not (List.mem acc u.u_accs) then u.u_accs <- acc :: u.u_accs
       | PVirt _ -> u.u_act <- true
       | PPipe _ -> u.u_pipe <- true
+      | PSource _ -> u.u_source <- true
+      | PSink _ -> u.u_sink <- true
+      | PScrub _ -> u.u_scrub <- true
       | _ -> ());
       match body_of s with Some b -> List.iter go b | None -> ()
     in
@@ -1109,6 +1161,9 @@ module Rand = struct
       List.iter (render_stmt buf ~indent:(indent + 2)) body;
       pf "%s}\n" pad
     | PPrint { arg } -> pf "%sSystem.print(%s);\n" pad (vn arg)
+    | PSource { v } -> pf "%sObject %s = Flow.source();\n" pad (vn v)
+    | PScrub { v; src } -> pf "%sObject %s = Flow.scrub(%s);\n" pad (vn v) (vn src)
+    | PSink { arg } -> pf "%sFlow.sink(%s);\n" pad (vn arg)
 
   let render (p : plan) : string =
     let buf = Buffer.create 4096 in
@@ -1127,12 +1182,22 @@ module Rand = struct
         (List.sort compare u.u_makes);
       Buffer.add_string buf "}\n\n"
     end;
-    if u.u_pipe then
-      Buffer.add_string buf
-        "class Flow {\n\
-        \  static Object pipe(Object x) { Object y = Flow.pipe2(x); return y; }\n\
-        \  static Object pipe2(Object x) { return x; }\n\
-         }\n\n";
+    if u.u_pipe || u.u_source || u.u_sink || u.u_scrub then begin
+      Buffer.add_string buf "class Flow {\n";
+      if u.u_pipe then
+        Buffer.add_string buf
+          "  static Object pipe(Object x) { Object y = Flow.pipe2(x); return y; }\n\
+          \  static Object pipe2(Object x) { return x; }\n";
+      if u.u_source then
+        Buffer.add_string buf
+          "  static Object source() { Object s = new Object(); return s; }\n";
+      if u.u_sink then
+        Buffer.add_string buf "  static void sink(Object x) { }\n";
+      if u.u_scrub then
+        Buffer.add_string buf
+          "  static Object scrub(Object x) { Object c = new Object(); return c; }\n";
+      Buffer.add_string buf "}\n\n"
+    end;
     Buffer.add_string buf "class Main {\n  static void main() {\n";
     Buffer.add_string buf "    int round = 0;\n";
     if p.p_rounds > 1 then begin
@@ -1216,6 +1281,31 @@ module Rand = struct
       done;
       if k = 1 then chunk := 0 else chunk := max 1 (k / 2)
     done;
+    (* unwrap a compound statement: splice its body in place of the header.
+       Escapes local minima where the body must stay but the wrapper need
+       not — e.g. an [if (round % 2 == 1)] guard whose body keeps the
+       violation alive forces [p_rounds >= 2]; hoisting the body lets the
+       rounds loop collapse on a later pass. Only offered when the body
+       never reads the header's own defs (the foreach element, the loop
+       index). *)
+    List.iteri
+      (fun j s ->
+        match body_of s with
+        | Some b when b <> [] ->
+          let rec body_uses acc ss =
+            List.fold_left
+              (fun acc bs ->
+                let acc = uses bs @ acc in
+                match body_of bs with Some bb -> body_uses acc bb | None -> acc)
+              acc ss
+          in
+          let used = body_uses [] b in
+          if List.for_all (fun v -> not (List.mem v used)) (defs s) then
+            push
+              (List.concat
+                 (List.mapi (fun x t -> if x = j then b else [ t ]) p.p_stmts))
+        | _ -> ())
+      p.p_stmts;
     (* single-statement removal inside compound bodies *)
     let rec nested prefix ss =
       List.iteri

@@ -55,6 +55,14 @@ module Rand : sig
   (** Seed the plan was generated from (echoed into fuzz reports). *)
   val seed_of : plan -> int
 
+  (** Ground-truth taint flows planted at generation time (a leaking
+      source->pipe->sink chain / a sanitized source->scrub->sink chain, at
+      the end of the program). Counts describe the *original* plan —
+      shrinking may remove the chains without updating them. *)
+  val planted_leaks : plan -> int
+
+  val planted_sanitized : plan -> int
+
   (** Number of plan statements (nested bodies included). *)
   val stmt_count : plan -> int
 

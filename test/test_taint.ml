@@ -1,0 +1,527 @@
+(** Taint-client tests: spec globbing and JSON parsing, static leak
+    detection and sanitization, dynamic taint tags in the interpreter, the
+    ground-truth corpus under [examples/leaks] (the in-tree slice of bench
+    experiment E13), the dynamic-vs-static containment oracle, and the
+    satellite regressions (deterministic diagnostics JSON, dataflow corner
+    cases, loop-carried cast refinement). *)
+
+module Ir = Csc_ir.Ir
+module Bits = Csc_common.Bits
+module Context = Csc_pta.Context
+module Csc = Csc_core.Csc
+module Interp = Csc_interp.Interp
+module Taint = Csc_taint.Taint
+module Spec = Csc_taint.Taint_spec
+module Soundness = Csc_fuzz.Soundness
+module Gen = Csc_workloads.Gen
+module Diagnostic = Csc_checks.Diagnostic
+module Cfg = Csc_checks.Cfg
+module Dataflow = Csc_checks.Dataflow
+module Liveness = Csc_checks.Liveness
+module Reaching = Csc_checks.Reaching
+module Checks = Csc_checks.Checks
+
+(* --------------------------------------------------------------- helpers *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(** Leak diagnostics of [src] under one analysis (ci by default). *)
+let leaks ?sel ?plugin_of src =
+  let p, r = Helpers.analyze ?sel ?plugin_of src in
+  (p, Taint.diagnostics p (Taint.analyze p r))
+
+let n_leaks ?sel ?plugin_of src = List.length (snd (leaks ?sel ?plugin_of src))
+
+let two_obj = Context.kobj ~k:2 ~hk:1
+
+(* ------------------------------------------------------------------ spec *)
+
+let test_spec_glob () =
+  Alcotest.(check bool) "prefix glob" true (Spec.matches "Flow.source*" "Flow.source");
+  Alcotest.(check bool) "prefix glob suffix" true
+    (Spec.matches "Flow.source*" "Flow.source2");
+  Alcotest.(check bool) "no match" false (Spec.matches "Flow.source*" "Flow.sink");
+  Alcotest.(check bool) "class wildcard" true (Spec.matches "Source.*" "Source.user");
+  Alcotest.(check bool) "inner star" true (Spec.matches "Db.*All" "Db.execAll");
+  Alcotest.(check bool) "inner star miss" false (Spec.matches "Db.*All" "Db.exec");
+  Alcotest.(check bool) "literal only" true (Spec.matches "A.b" "A.b");
+  Alcotest.(check bool) "star is not dot-star-greedy" true
+    (Spec.matches "*x*" "axb")
+
+let test_spec_classify () =
+  let p =
+    Helpers.compile
+      {|
+class Flow {
+  static Object source() { Object s = new Object(); return s; }
+  static void sink(Object x) { }
+  static Object scrub(Object x) { Object c = new Object(); return c; }
+}
+class Main { static void main() { Object o = Flow.source(); Flow.sink(o); } }
+|}
+  in
+  let mid name = (Helpers.find_method p name).Ir.m_id in
+  Alcotest.(check bool) "source role" true
+    (Spec.classify Spec.builtin p (mid "Flow.source") = Some Spec.Source);
+  Alcotest.(check bool) "sink role" true
+    (Spec.classify Spec.builtin p (mid "Flow.sink") = Some Spec.Sink);
+  Alcotest.(check bool) "sanitizer role" true
+    (Spec.classify Spec.builtin p (mid "Flow.scrub") = Some Spec.Sanitizer);
+  Alcotest.(check bool) "unclassified" true
+    (Spec.classify Spec.builtin p (mid "Main.main") = None);
+  (* sanitizer patterns bind tighter than source/sink ones *)
+  let overlapping =
+    { Spec.sources = [ "Flow.*" ]; sinks = [ "Flow.*" ]; sanitizers = [ "Flow.scrub*" ] }
+  in
+  Alcotest.(check bool) "sanitizer wins overlap" true
+    (Spec.classify overlapping p (mid "Flow.scrub") = Some Spec.Sanitizer)
+
+let test_spec_json () =
+  (match
+     Spec.of_string
+       {|{"sources": ["A.get*"], "sinks": ["B.put*"], "sanitizers": []}|}
+   with
+  | Ok t ->
+    Alcotest.(check (list string)) "sources" [ "A.get*" ] t.Spec.sources;
+    Alcotest.(check (list string)) "sinks" [ "B.put*" ] t.Spec.sinks;
+    Alcotest.(check (list string)) "sanitizers" [] t.Spec.sanitizers
+  | Error e -> Alcotest.fail e);
+  (match Spec.of_string {|{"sinks": ["B.put"]}|} with
+  | Ok t -> Alcotest.(check (list string)) "missing keys default" [] t.Spec.sources
+  | Error e -> Alcotest.fail e);
+  (match Spec.of_string {|{"sources": [3]}|} with
+  | Ok _ -> Alcotest.fail "non-string pattern must be rejected"
+  | Error _ -> ());
+  match Spec.of_string "[1,2]" with
+  | Ok _ -> Alcotest.fail "non-object spec must be rejected"
+  | Error _ -> ()
+
+(* ---------------------------------------------------------------- static *)
+
+let direct_src =
+  {|
+class Flow {
+  static Object source() { Object s = new Object(); return s; }
+  static void sink(Object x) { }
+  static Object scrub(Object x) { Object c = new Object(); return c; }
+}
+class Main {
+  static void main() {
+    Object secret = Flow.source();
+    Flow.sink(secret);
+  }
+}
+|}
+
+let test_direct_leak () =
+  let p, ds = leaks direct_src in
+  Alcotest.(check int) "one leak" 1 (List.length ds);
+  let d = List.hd ds in
+  Alcotest.(check string) "check name" "taint" d.Diagnostic.d_check;
+  Alcotest.(check string) "in main" "Main.main"
+    (Ir.method_name p d.Diagnostic.d_method)
+
+let test_sanitized_clean () =
+  Alcotest.(check int) "scrubbed flow is silent" 0
+    (n_leaks
+       {|
+class Flow {
+  static Object source() { Object s = new Object(); return s; }
+  static void sink(Object x) { }
+  static Object scrub(Object x) { Object c = new Object(); return c; }
+}
+class Main {
+  static void main() {
+    Object secret = Flow.source();
+    Object clean = Flow.scrub(secret);
+    Flow.sink(clean);
+  }
+}
+|})
+
+let test_custom_spec () =
+  (* the builtin table knows nothing about Crypto/Log; a custom spec does *)
+  let src =
+    {|
+class Crypto { static Object key() { Object k = new Object(); return k; } }
+class Log { static void write(Object x) { } }
+class Main {
+  static void main() {
+    Object k = Crypto.key();
+    Log.write(k);
+  }
+}
+|}
+  in
+  let p, r = Helpers.analyze src in
+  Alcotest.(check int) "builtin spec sees nothing" 0
+    (List.length (Taint.diagnostics p (Taint.analyze p r)));
+  let spec =
+    { Spec.sources = [ "Crypto.key" ]; sinks = [ "Log.write" ]; sanitizers = [] }
+  in
+  Alcotest.(check int) "custom spec finds the leak" 1
+    (List.length (Taint.diagnostics p (Taint.analyze ~spec p r)))
+
+(* --------------------------------------------------------------- dynamic *)
+
+let test_dynamic_taint () =
+  let p = Helpers.compile direct_src in
+  let dyn = Interp.run ~taint:(Taint.hooks Spec.builtin p) p in
+  Alcotest.(check int) "one dynamic sink hit" 1
+    (Bits.cardinal dyn.Interp.dyn_taint_sinks);
+  (* without hooks nothing is recorded *)
+  let dyn0 = Interp.run p in
+  Alcotest.(check int) "no hooks, no hits" 0
+    (Bits.cardinal dyn0.Interp.dyn_taint_sinks)
+
+let test_dynamic_sanitizer () =
+  let p =
+    Helpers.compile
+      {|
+class Flow {
+  static Object source() { Object s = new Object(); return s; }
+  static void sink(Object x) { }
+  static Object scrub(Object x) { Object c = new Object(); return c; }
+}
+class Main {
+  static void main() {
+    Object secret = Flow.source();
+    Object clean = Flow.scrub(secret);
+    Flow.sink(clean);
+  }
+}
+|}
+  in
+  let dyn = Interp.run ~taint:(Taint.hooks Spec.builtin p) p in
+  Alcotest.(check int) "scrubbed value does not hit" 0
+    (Bits.cardinal dyn.Interp.dyn_taint_sinks)
+
+(* ----------------------------------------------- ground-truth corpus (E13) *)
+
+let corpus_dir = "../examples/leaks"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".mjava")
+  |> List.sort String.compare
+
+let corpus_leaks src = function
+  | "ci" -> n_leaks src
+  | "csc" -> n_leaks ~plugin_of:Csc.plugin src
+  | "2obj" -> n_leaks ~sel:two_obj src
+  | a -> Alcotest.fail ("unknown analysis " ^ a)
+
+(* every *_leak program must be reported by every sound analysis; every
+   *_ok program must be clean under the precise ones. This is the in-tree
+   replay of bench experiment E13's ground truth. *)
+let test_corpus_ground_truth () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 6);
+  List.iter
+    (fun f ->
+      let name = Filename.chop_suffix f ".mjava" in
+      let src = read_file (Filename.concat corpus_dir f) in
+      List.iter
+        (fun a ->
+          let n = corpus_leaks src a in
+          if Filename.check_suffix name "_leak" then
+            Alcotest.(check bool)
+              (Printf.sprintf "%s under %s reports" name a)
+              true (n >= 1)
+          else if a <> "ci" then
+            Alcotest.(check int)
+              (Printf.sprintf "%s under %s clean" name a)
+              0 n)
+        [ "ci"; "csc"; "2obj" ])
+    files
+
+(* the paper's precision claim for the taint client: ci over-reports on the
+   *_ok programs, csc does not *)
+let test_corpus_csc_beats_ci () =
+  let false_leaks a =
+    List.fold_left
+      (fun acc f ->
+        let name = Filename.chop_suffix f ".mjava" in
+        if Filename.check_suffix name "_ok" then
+          acc + corpus_leaks (read_file (Filename.concat corpus_dir f)) a
+        else acc)
+      0 (corpus_files ())
+  in
+  let ci = false_leaks "ci" and csc = false_leaks "csc" in
+  Alcotest.(check bool) "ci has false leaks" true (ci > 0);
+  Alcotest.(check int) "csc has none" 0 csc;
+  Alcotest.(check bool) "csc strictly fewer than ci" true (csc < ci)
+
+(* dynamic ⊆ static on the corpus: every program replays through the full
+   soundness oracle (which now includes the taint containment check) *)
+let test_corpus_oracle () =
+  List.iter
+    (fun f ->
+      let src = read_file (Filename.concat corpus_dir f) in
+      let p = Helpers.compile src in
+      match Soundness.check p with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "%s: %a" f
+          (Fmt.list ~sep:Fmt.comma Soundness.pp_violation)
+          vs)
+    (corpus_files ())
+
+(* ---------------------------------------------------------- planted flows *)
+
+let test_planted_metadata () =
+  (* the generator records how many leak / sanitized chains it planted, and
+     a plan that planted one must render the corresponding Flow calls *)
+  let saw_leak = ref false and saw_san = ref false in
+  for seed = 200 to 239 do
+    let plan = Gen.Rand.generate ~seed ~max_size:25 in
+    let src = Gen.Rand.render plan in
+    let has needle =
+      Astring.String.is_infix ~affix:needle src
+    in
+    if Gen.Rand.planted_leaks plan > 0 then begin
+      saw_leak := true;
+      Alcotest.(check bool) "planted leak renders source" true
+        (has "Flow.source()");
+      Alcotest.(check bool) "planted leak renders sink" true (has "Flow.sink(")
+    end;
+    if Gen.Rand.planted_sanitized plan > 0 then begin
+      saw_san := true;
+      Alcotest.(check bool) "planted sanitized renders scrub" true
+        (has "Flow.scrub(")
+    end
+  done;
+  Alcotest.(check bool) "some seed planted a leak" true !saw_leak;
+  Alcotest.(check bool) "some seed planted a sanitized chain" true !saw_san
+
+let test_generated_taint_oracle () =
+  (* PR-loop slice of the nightly campaign: generated programs with planted
+     flows replay through the oracle (static taint must cover dynamic) *)
+  let dyn_hits = ref 0 in
+  for seed = 300 to 319 do
+    let plan = Gen.Rand.generate ~seed ~max_size:25 in
+    let p = Helpers.compile (Gen.Rand.render plan) in
+    if Taint.relevant Spec.builtin p then begin
+      let dyn =
+        Interp.run_trace ~max_steps:2_000_000
+          ~taint:(Taint.hooks Spec.builtin p) p
+      in
+      dyn_hits := !dyn_hits + Bits.cardinal dyn.Interp.dyn_taint_sinks
+    end;
+    match Soundness.check ~max_steps:2_000_000 p with
+    | [] -> ()
+    | vs ->
+      Alcotest.failf "seed %d: %a" seed
+        (Fmt.list ~sep:Fmt.comma Soundness.pp_violation)
+        vs
+  done;
+  (* the containment check must not be vacuous: some planted chain really
+     reaches its sink at runtime across these seeds *)
+  Alcotest.(check bool) "dynamic sink hits occur" true (!dyn_hits > 0)
+
+(* --------------------------------------------- deterministic diagnostics *)
+
+let test_render_json_deterministic () =
+  let p, ds = leaks direct_src in
+  let d = List.hd ds in
+  let d2 = { d with Diagnostic.d_message = "zz " ^ d.Diagnostic.d_message } in
+  (* same multiset in two different orders, with a duplicate injected *)
+  let a = Diagnostic.render_json p [ d2; d; d ] in
+  let b = Diagnostic.render_json p [ d; d; d2 ] in
+  Alcotest.(check string) "order-insensitive render" a b;
+  let count_objs s =
+    (* one object per finding; witnesses may contain braces, so count the
+       leading key instead *)
+    let needle = {|{"check"|} in
+    let rec go i n =
+      match Astring.String.find_sub ~start:i ~sub:needle s with
+      | Some j -> go (j + 1) (n + 1)
+      | None -> n
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "duplicates collapsed" 2 (count_objs a)
+
+(* ------------------------------------------------- dataflow corner cases *)
+
+module DefDom = struct
+  type t = Bits.t
+
+  let equal = Bits.equal
+
+  let join a b =
+    let c = Bits.copy a in
+    Bits.union_quiet ~into:c b;
+    c
+end
+
+module DefDF = Dataflow.Make (DefDom)
+
+(* forward "defined variables" instance used by the corner-case tests *)
+let def_spec boundary : DefDF.spec =
+  {
+    DefDF.dir = Dataflow.Forward;
+    boundary;
+    bottom = Bits.create ();
+    transfer =
+      (fun _path s d ->
+        match Ir.def_of s with
+        | None -> d
+        | Some v ->
+          let d' = Bits.copy d in
+          ignore (Bits.add d' v);
+          d');
+  }
+
+let test_empty_cfg () =
+  let cfg = Cfg.build [||] in
+  let boundary = Bits.create () in
+  ignore (Bits.add boundary 1);
+  let res = DefDF.solve (def_spec boundary) cfg in
+  (* the boundary fact flows untouched through an empty graph *)
+  Alcotest.(check bool) "boundary reaches exit" true
+    (Bits.mem res.DefDF.input.(Cfg.exit_ cfg) 1);
+  Alcotest.(check bool) "no facts invented" true
+    (Bits.equal res.DefDF.input.(Cfg.exit_ cfg) boundary)
+
+let test_unreachable_block () =
+  (* the statements after the if/else (both branches return) are
+     unreachable; the fixpoint must still terminate and not leak facts out
+     of thin air into the reachable part *)
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static int f(boolean b) {
+    int x = 0;
+    if (b) { return x; } else { return x; }
+    x = 3;
+    return x;
+  }
+  static void main() { System.print(Main.f(true)); }
+}
+|}
+  in
+  let cfg = Cfg.of_method p (Helpers.find_method p "Main.f").Ir.m_id in
+  let live = Liveness.compute cfg in
+  let x = Helpers.var p "Main.f" "x" in
+  (* x is defined before every reachable use, so it is dead at entry *)
+  Alcotest.(check bool) "x not live at entry" false
+    (Bits.mem (Liveness.live_at_entry live cfg) x);
+  (* reaching definitions also converge on the same graph *)
+  ignore (Reaching.compute cfg)
+
+let test_self_loop_back_edge () =
+  let p =
+    Helpers.compile
+      {|
+class Main {
+  static void main() {
+    int i = 0;
+    while (i < 3) { i = i + 1; }
+    System.print(i);
+  }
+}
+|}
+  in
+  let cfg = Cfg.of_method p (Helpers.find_method p "Main.main").Ir.m_id in
+  let reach = Reaching.compute cfg in
+  let i = Helpers.var p "Main.main" "i" in
+  (* at the loop test, both the init and the loop-carried increment reach:
+     the back edge must push the body's def around the cycle *)
+  let best = ref 0 in
+  Reaching.iter reach cfg (fun _path s ~reaching ->
+      match s with
+      | Ir.While _ ->
+        best := max !best (List.length (Reaching.defs_of_var reach reaching i))
+      | _ -> ());
+  Alcotest.(check int) "two defs reach the loop test" 2 !best
+
+(* --------------------------------------------- casts under loop back-edges *)
+
+let test_cast_loop_guarded_ok () =
+  (* every def reaching the cast — including the loop-carried one — is a B,
+     so the flow refinement keeps the cast silent across iterations *)
+  let _, ds =
+    Helpers.analyze
+      {|
+class A { }
+class B extends A { }
+class Main {
+  static void main() {
+    A x = new B();
+    int i = 0;
+    while (i < 3) {
+      B b = (B) x;
+      x = new B();
+      i = i + 1;
+    }
+    System.print(i);
+  }
+}
+|}
+    |> fun (p, r) -> (p, Checks.run_all ~checks:[ "fail-cast" ] p r)
+  in
+  Alcotest.(check int) "loop-guarded cast is silent" 0 (List.length ds)
+
+let test_cast_loop_tainted_def_alarms () =
+  (* same shape, but a later iteration redefines x as a plain A: the
+     back edge carries that def to the cast, which must now alarm *)
+  let _, ds =
+    Helpers.analyze
+      {|
+class A { }
+class B extends A { }
+class Main {
+  static void main() {
+    A x = new B();
+    int i = 0;
+    while (i < 3) {
+      B b = (B) x;
+      x = new A();
+      i = i + 1;
+    }
+    System.print(i);
+  }
+}
+|}
+    |> fun (p, r) -> (p, Checks.run_all ~checks:[ "fail-cast" ] p r)
+  in
+  Alcotest.(check int) "loop-carried bad def alarms" 1 (List.length ds)
+
+(* ----------------------------------------------------------------- suite *)
+
+let suite =
+  [
+    ( "taint",
+      [
+        Alcotest.test_case "spec glob" `Quick test_spec_glob;
+        Alcotest.test_case "spec classify" `Quick test_spec_classify;
+        Alcotest.test_case "spec json" `Quick test_spec_json;
+        Alcotest.test_case "direct leak" `Quick test_direct_leak;
+        Alcotest.test_case "sanitized clean" `Quick test_sanitized_clean;
+        Alcotest.test_case "custom spec" `Quick test_custom_spec;
+        Alcotest.test_case "dynamic taint" `Quick test_dynamic_taint;
+        Alcotest.test_case "dynamic sanitizer" `Quick test_dynamic_sanitizer;
+        Alcotest.test_case "corpus ground truth" `Slow test_corpus_ground_truth;
+        Alcotest.test_case "corpus csc beats ci" `Slow test_corpus_csc_beats_ci;
+        Alcotest.test_case "corpus oracle" `Slow test_corpus_oracle;
+        Alcotest.test_case "planted metadata" `Quick test_planted_metadata;
+        Alcotest.test_case "generated taint oracle" `Slow
+          test_generated_taint_oracle;
+        Alcotest.test_case "render_json deterministic" `Quick
+          test_render_json_deterministic;
+        Alcotest.test_case "dataflow empty cfg" `Quick test_empty_cfg;
+        Alcotest.test_case "dataflow unreachable block" `Quick
+          test_unreachable_block;
+        Alcotest.test_case "dataflow self-loop back edge" `Quick
+          test_self_loop_back_edge;
+        Alcotest.test_case "cast loop guarded ok" `Quick test_cast_loop_guarded_ok;
+        Alcotest.test_case "cast loop bad def alarms" `Quick
+          test_cast_loop_tainted_def_alarms;
+      ] );
+  ]
