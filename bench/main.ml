@@ -12,6 +12,8 @@
     - collapse: solver cycle collapsing on/off (EXPERIMENTS.md E11)
     - taint   : taint-client leak reports on the ground-truth corpus
                 (EXPERIMENTS.md E13)
+    - profile : cost attribution vs precision, ci / csc / 2obj
+                (EXPERIMENTS.md E14)
     - micro   : Bechamel micro-benchmarks of the substrates
 
     Usage: dune exec bench/main.exe -- [experiments...] [--quick] [--budget S]
@@ -509,6 +511,87 @@ let taint_json cfg : Json.t =
                   ("metrics", Json.Obj [ ("leaks", Json.Int leaks) ]) ])
             (taint_cells cfg))) ]
 
+(* ---------------------------------------------------------- profile (E14) *)
+
+module Attr = Csc_obs.Attr
+
+(* E14 (EXPERIMENTS.md): cost attribution vs precision, ci / csc / 2obj.
+   Profiled runs pay the telemetry overhead, so they keep their own cache —
+   the timing experiments never see them — and their cells carry no time_s:
+   the regression gate compares the precision metrics and ignores both the
+   wall clock and the attribution payload. *)
+let profile_analyses = [ Run.Imp_ci; Run.Imp_csc; Run.Imp_2obj ]
+
+let profile_cells_cache : (string * string * Run.outcome) list option ref =
+  ref None
+
+let profile_cells cfg : (string * string * Run.outcome) list =
+  match !profile_cells_cache with
+  | Some cells -> cells
+  | None ->
+    let cells =
+      List.concat_map
+        (fun pname ->
+          List.map
+            (fun a ->
+              Fmt.epr "  [%s / %s profiled] ...@." pname (Run.name a);
+              let o =
+                Run.run ~budget_s:cfg.budget ~profile:true ~profile_top:10
+                  (program pname) a
+              in
+              let o = { o with Run.o_result = None } in
+              Gc.compact ();
+              (pname, Run.name a, o))
+            profile_analyses)
+        cfg.programs
+    in
+    profile_cells_cache := Some cells;
+    cells
+
+let profile_exp cfg =
+  Fmt.pr "@.=== Extension: cost attribution vs precision (E14) ===@.";
+  Fmt.pr "%-11s %-9s %11s %11s %12s %10s  %s@." "program" "analysis"
+    "#fail-cast" "#call-edge" "propagated" "shortcuts" "hottest methods";
+  List.iter
+    (fun (pname, aname, (o : Run.outcome)) ->
+      match o.o_profile with
+      | None -> Fmt.pr "%-11s %-9s (timeout)@." pname aname
+      | Some pr ->
+        let fc, _, _, ce = metric_cells o in
+        let hot =
+          List.filteri (fun i _ -> i < 3) pr.Attr.p_methods
+          |> List.map (fun (e : Attr.entry) -> e.e_name)
+          |> String.concat ", "
+        in
+        Fmt.pr "%-11s %-9s %11s %11s %12d %10d  %s@." pname aname fc ce
+          pr.Attr.p_props pr.Attr.p_shortcuts hot)
+    (profile_cells cfg);
+  Fmt.pr
+    "(per-analysis hot-method attribution next to the precision it buys; \
+     the shared hot set@. is where CSC's shortcut edges substitute for 2obj's \
+     context duplication, E14)@."
+
+let profile_json cfg : Json.t =
+  Json.Obj
+    [ ("experiment", Json.Str "profile");
+      ( "cells",
+        Json.List
+          (List.map
+             (fun (pname, aname, (o : Run.outcome)) ->
+               Json.Obj
+                 ([ ("program", Json.Str pname);
+                    ("analysis", Json.Str aname);
+                    ("timeout", Json.Bool o.o_timeout);
+                    ( "metrics",
+                      match o.o_metrics with
+                      | None -> Json.Null
+                      | Some m -> Report.metrics_json m ) ]
+                 @
+                 match o.o_profile with
+                 | None -> []
+                 | Some pr -> [ ("profile", Attr.profile_json pr) ]))
+             (profile_cells cfg)) ) ]
+
 (* ------------------------------------------------------------------ micro *)
 
 let micro () =
@@ -589,7 +672,7 @@ let micro () =
 
 let experiment_names =
   [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation"; "kstudy";
-    "extras"; "checks"; "collapse"; "taint"; "micro" ]
+    "extras"; "checks"; "collapse"; "taint"; "profile"; "micro" ]
 
 (* the (program, analysis) cells each experiment reads. Serializing an
    experiment maps its grid through the memo cache, so the report re-runs
@@ -622,8 +705,10 @@ let grid_of_experiment cfg exp : (string * Run.analysis) list =
   | _ -> []
 
 let experiment_json cfg exp : Json.t option =
-  (* taint cells come from the on-disk corpus, not the Suite grid *)
+  (* taint cells come from the on-disk corpus, not the Suite grid; profile
+     cells re-run with telemetry on, bypassing the shared memo cache *)
   if exp = "taint" then Some (taint_json cfg)
+  else if exp = "profile" then Some (profile_json cfg)
   else
   match grid_of_experiment cfg exp with
   | [] -> None
@@ -791,7 +876,7 @@ let () =
       (* cheap (imperative) experiments first so interrupted runs still
          cover every experiment; the Datalog grid (table1/fig12) comes last *)
       [ "table2"; "collapse"; "recall"; "ablation"; "kstudy"; "extras";
-        "checks"; "taint"; "micro"; "table3"; "table1"; "fig12" ]
+        "checks"; "taint"; "profile"; "micro"; "table3"; "table1"; "fig12" ]
     else experiments
   in
   Fmt.pr "cutshortcut bench: programs=[%s] budget=%.0fs doop-budget=%.0fs@."
@@ -812,6 +897,7 @@ let () =
       | "checks" -> checks cfg
       | "collapse" -> collapse_exp cfg
       | "taint" -> taint_exp cfg
+      | "profile" -> profile_exp cfg
       | "micro" -> micro ()
       | _ -> ());
       if json_mode <> None || compare_file <> None then

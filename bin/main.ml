@@ -8,6 +8,7 @@
     - [analyze]   : run one or more pointer analyses, print time + metrics
     - [explain]   : answer "why does x point to o" with derivation chains
     - [check]     : run the flow-sensitive checkers backed by an analysis
+    - [profile]   : cost attribution — hot methods, pointers and rules
     - [recall]    : the §5.1 recall experiment for one program
 
     [--trace FILE] on the analysis commands records a Chrome trace_event
@@ -15,9 +16,12 @@
 
 module Ir = Csc_ir.Ir
 module Run = Csc_driver.Run
+module Report = Csc_driver.Report
 module Suite = Csc_workloads.Suite
 module Snapshot = Csc_obs.Snapshot
 module Trace = Csc_obs.Trace
+module Attr = Csc_obs.Attr
+module Json = Csc_obs.Json
 module Campaign = Csc_fuzz.Campaign
 module Soundness = Csc_fuzz.Soundness
 
@@ -118,6 +122,22 @@ let with_trace trace f =
     Trace.start ~file;
     Fun.protect ~finally:Trace.finish f
 
+let profile_file_arg =
+  let doc =
+    "Collect cost attribution (hot methods, pointers, rules) during the run \
+     and write the profile report as JSON to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Print a heartbeat line to stderr every $(docv) seconds of solving \
+     (long runs under nightly CI; 0 = off)."
+  in
+  Arg.(value & opt float 0. & info [ "progress" ] ~docv:"SECS" ~doc)
+
+let progress_opt s = if s <= 0. then None else Some s
+
 let list_cmd =
   let run () =
     Fmt.pr "%-12s %8s %8s %8s %8s %8s@." "program" "classes" "methods" "stmts"
@@ -202,7 +222,8 @@ let analyze_cmd =
                "Record points-to provenance (imperative engine; adds a \
                 prov_records counter to the snapshot).")
   in
-  let run spec analyses budget validate explain no_collapse trace =
+  let run spec analyses budget validate explain no_collapse trace profile
+      progress =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let s = Ir.stats p in
@@ -210,17 +231,32 @@ let analyze_cmd =
     let analyses =
       if List.mem "all" analyses then all_analysis_names else analyses
     in
-    List.iter
-      (fun a ->
-        print_outcome
-          (Run.run ?budget_s:(budget_opt budget) ~validate ~explain
-             ~collapse:(not no_collapse) p (analysis_of_string a)))
-      analyses
+    let outcomes =
+      List.map
+        (fun a ->
+          let o =
+            Run.run ?budget_s:(budget_opt budget) ~validate ~explain
+              ~collapse:(not no_collapse) ~profile:(profile <> None)
+              ?progress_s:(progress_opt progress) p (analysis_of_string a)
+          in
+          print_outcome o;
+          o)
+        analyses
+    in
+    match profile with
+    | None -> ()
+    | Some file ->
+      Report.write_file file
+        (Json.Obj
+           [ ("program", Json.Str spec);
+             ("outcomes", Json.List (List.map Report.outcome_json outcomes)) ]);
+      Fmt.pr "profile written to %s@." file
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
     Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg
-          $ explain $ no_collapse_arg $ trace_arg)
+          $ explain $ no_collapse_arg $ trace_arg $ profile_file_arg
+          $ progress_arg)
 
 (* --------------------------------------------------------------- explain *)
 
@@ -287,7 +323,10 @@ let explain_cmd =
       | None -> Csc_common.Timer.no_budget
     in
     let t = Solver.create ~budget ~sel:(selector_of analysis) p in
-    Solver.enable_provenance t;
+    if Solver.enable_provenance t then
+      Fmt.epr
+        "note: provenance recording (explain) disables online cycle \
+         collapsing for this run; expect a slower solve@.";
     (match plugin_config_of analysis with
     | Some config -> Solver.set_plugin t (Csc_core.Csc.plugin ~config t)
     | None -> ());
@@ -387,13 +426,22 @@ let check_cmd =
          & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
   in
   let run spec analysis checks json include_jdk fail_on budget validate
-      no_collapse trace =
+      no_collapse trace profile progress =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let o =
       Run.run ?budget_s:(budget_opt budget) ~validate
-        ~collapse:(not no_collapse) p (analysis_of_string analysis)
+        ~collapse:(not no_collapse) ~profile:(profile <> None)
+        ?progress_s:(progress_opt progress) p (analysis_of_string analysis)
     in
+    (match profile with
+    | None -> ()
+    | Some file ->
+      Report.write_file file
+        (Json.Obj
+           [ ("program", Json.Str spec);
+             ("outcomes", Json.List [ Report.outcome_json o ]) ]);
+      Fmt.epr "profile written to %s@." file);
     match o.Run.o_result with
     | None -> Fmt.epr "analysis %s timed out after %.1fs@." analysis o.Run.o_time
     | Some r ->
@@ -419,7 +467,90 @@ let check_cmd =
           dead-store) backed by a pointer analysis")
     Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
           $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
-          $ trace_arg)
+          $ trace_arg $ profile_file_arg $ progress_arg)
+
+let profile_cmd =
+  let analyses =
+    let doc =
+      Printf.sprintf
+        "Analyses to profile (repeatable). One of: %s, or 'all'."
+        (String.concat ", " all_analysis_names)
+    in
+    Arg.(value & opt_all string [ "ci"; "csc" ] & info [ "analysis"; "a" ] ~doc)
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows per table (hot methods, pointers, rules).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the profiles as JSON.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the JSON report to $(docv) instead of stdout \
+                   (implies --json).")
+  in
+  let run spec analyses top json out budget progress trace =
+    with_trace trace @@ fun () ->
+    let p = load_program spec in
+    let analyses =
+      if List.mem "all" analyses then all_analysis_names else analyses
+    in
+    let outcomes =
+      List.map
+        (fun a ->
+          ( a,
+            Run.run ?budget_s:(budget_opt budget) ~profile:true
+              ~profile_top:top ?progress_s:(progress_opt progress) p
+              (analysis_of_string a) ))
+        analyses
+    in
+    if json || out <> None then begin
+      let doc =
+        Json.Obj
+          [ ("program", Json.Str spec);
+            ( "profiles",
+              Json.List
+                (List.map
+                   (fun (a, (o : Run.outcome)) ->
+                     Json.Obj
+                       [ ("analysis", Json.Str a);
+                         ("timeout", Json.Bool o.o_timeout);
+                         ("time_s", Json.Float o.o_time);
+                         ( "profile",
+                           match o.o_profile with
+                           | None -> Json.Null
+                           | Some pr -> Attr.profile_json pr ) ])
+                   outcomes) ) ]
+      in
+      match out with
+      | Some file ->
+        Report.write_file file doc;
+        Fmt.pr "profile written to %s@." file
+      | None -> print_string (Json.to_string ~pretty:true doc ^ "\n")
+    end
+    else
+      List.iter
+        (fun (a, (o : Run.outcome)) ->
+          if o.o_timeout then
+            Fmt.pr "== %s: TIMEOUT after %.1fs ==@.@." a o.o_time
+          else begin
+            Fmt.pr "== %s (%.3fs) ==@." a o.o_time;
+            match o.o_profile with
+            | Some pr -> Fmt.pr "%s@." (Attr.profile_text ~top pr)
+            | None -> Fmt.pr "(no profile collected)@.@."
+          end)
+        outcomes
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Cost attribution: run analyses with solver telemetry enabled and \
+          report the hot methods, pointers and rules driving solve time")
+    Term.(const run $ program_arg $ analyses $ top $ json $ out $ budget_arg
+          $ progress_arg $ trace_arg)
 
 let taint_cmd =
   let analysis =
@@ -631,7 +762,8 @@ let main_cmd =
     (Cmd.info "cutshortcut" ~version:"1.0.0"
        ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
     [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; explain_cmd;
-      check_cmd; taint_cmd; recall_cmd; callgraph_cmd; pts_cmd; fuzz_cmd ]
+      check_cmd; profile_cmd; taint_cmd; recall_cmd; callgraph_cmd; pts_cmd;
+      fuzz_cmd ]
 
 (* cmdliner reserves double-dash spellings for multi-char names, but the
    documented fuzz interface is `--n N`; accept it as an alias of `-n` *)

@@ -33,6 +33,7 @@ open Csc_common
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 module Registry = Csc_obs.Registry
+module Attr = Csc_obs.Attr
 
 type config = {
   field_pattern : bool;
@@ -159,6 +160,17 @@ let shortcut ?filter t rule ~src ~dst =
   if src <> dst && not (!sabotage_drop_shortcuts && rule == t.c_sc_store) then begin
     t.n_shortcuts <- t.n_shortcuts + 1;
     Registry.incr rule;
+    (match Solver.attr t.solver with
+    | None -> ()
+    | Some a ->
+      (* attribution rule row keyed by the CSC pattern (the counters all
+         share one name and differ by their "pattern" label) *)
+      let pat =
+        match List.assoc_opt "pattern" (Registry.counter_labels rule) with
+        | Some p -> p
+        | None -> Registry.counter_name rule
+      in
+      Attr.rule_fire (Attr.rule a ("csc:" ^ pat)));
     mark_involved t src;
     mark_involved t dst;
     Solver.add_edge ~kind:Solver.KShortcut ?filter t.solver ~src ~dst

@@ -418,9 +418,10 @@ let result_of_cs (t : E.t) (objs : (int * int) Interner.t) ~name ~time :
 exception Timeout = Timer.Out_of_budget
 
 (** Run a declarative analysis end to end. Raises {!Timeout} on budget
-    expiry. *)
-let run ?(budget = Timer.no_budget) (p : Ir.program) (kind : kind) :
-    Solver.result =
+    expiry. [attr] collects per-rule/per-stratum cost attribution;
+    [progress_s] enables the engine's heartbeat. *)
+let run ?(budget = Timer.no_budget) ?attr ?progress_s (p : Ir.program)
+    (kind : kind) : Solver.result =
   let t0 = Timer.now () in
   let t = create () in
   match kind with
@@ -429,7 +430,7 @@ let run ?(budget = Timer.no_budget) (p : Ir.program) (kind : kind) :
     ignore (Facts.load ~csc t p);
     ci_rules t;
     if csc then csc_rules t;
-    solve ~budget t;
+    solve ~budget ?attr ?progress_s t;
     result_of_ci t p ~name:(kind_name kind) ~time:(Timer.now () -. t0)
   | Obj2 | Type2 | Selective2obj _ ->
     ignore (Facts.load ~csc:false t p);
@@ -441,5 +442,5 @@ let run ?(budget = Timer.no_budget) (p : Ir.program) (kind : kind) :
       | _ -> assert false
     in
     let objs = cs_rules t p pol in
-    solve ~budget t;
+    solve ~budget ?attr ?progress_s t;
     result_of_cs t objs ~name:(kind_name kind) ~time:(Timer.now () -. t0)

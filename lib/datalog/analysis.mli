@@ -26,5 +26,13 @@ exception Timeout
 
 (** Run a declarative analysis end to end, producing the same
     engine-agnostic result shape as the imperative solver (tested to be
-    *identical* to it for CI / 2obj / 2type). *)
-val run : ?budget:Timer.budget -> Ir.program -> kind -> Solver.result
+    *identical* to it for CI / 2obj / 2type). [attr] collects per-rule and
+    per-stratum cost attribution (tuple counts and wall time); [progress_s]
+    emits a heartbeat line to stderr every that-many seconds. *)
+val run :
+  ?budget:Timer.budget ->
+  ?attr:Csc_obs.Attr.t ->
+  ?progress_s:float ->
+  Ir.program ->
+  kind ->
+  Solver.result

@@ -8,6 +8,8 @@
     semi-naive delta iteration inside each stratum. *)
 
 open Csc_common
+module Trace = Csc_obs.Trace
+module Attr = Csc_obs.Attr
 
 type term =
   | V of string  (** variable *)
@@ -223,7 +225,9 @@ type crule = {
   cr_body : catom array;
   cr_nvars : int;
   cr_rule : rule;  (* original, for delta-atom positions *)
+  cr_label : string;  (* "Head :- Body, ..." for spans and attribution *)
   mutable cr_time : float;  (* cumulative evaluation time, for profiling *)
+  mutable cr_arule : Attr.rule option;  (* attribution row, when profiling *)
 }
 
 let compile_rule t (rule : rule) : crule =
@@ -250,13 +254,28 @@ let compile_rule t (rule : rule) : crule =
       rule.body
   in
   let head = Array.map slot_of rule.head.args in
+  let label =
+    match rule.body with
+    | [] -> rule.head.rel ^ "."
+    | body ->
+      rule.head.rel ^ " :- "
+      ^ String.concat ", "
+          (List.map
+             (fun a ->
+               (if a.neg then "!" else "")
+               ^ a.rel
+               ^ if a.builtin then "()" else "")
+             body)
+  in
   {
     cr_head_rel = Hashtbl.find t.rels rule.head.rel;
     cr_head = head;
     cr_body = Array.of_list body;
     cr_nvars = Hashtbl.length vars;
     cr_rule = rule;
+    cr_label = label;
     cr_time = 0.;
+    cr_arule = None;
   }
 
 (* greedy join ordering: among the remaining atoms, prefer builtins and
@@ -448,9 +467,13 @@ let eval_rule (cr : crule) ~(delta_idx : int)
         d
   end
 
-(** Run all rules to fixpoint, stratum by stratum. *)
-let solve ?(budget = Timer.no_budget) (t : t) : unit =
+(** Run all rules to fixpoint, stratum by stratum. [attr] records per-rule
+    and per-stratum tuple counts and wall time; [progress_s] emits a stderr
+    heartbeat line every that-many seconds. Both default to off. *)
+let solve ?(budget = Timer.no_budget) ?attr ?progress_s (t : t) : unit =
   scan_budget := budget;
+  let t_solve0 = Timer.now () in
+  let last_progress = ref t_solve0 in
   let strata = stratify t in
   let max_stratum = Hashtbl.fold (fun _ s acc -> max s acc) strata 0 in
   let rules = List.rev t.rules in
@@ -459,6 +482,10 @@ let solve ?(budget = Timer.no_budget) (t : t) : unit =
       List.filter (fun r -> Hashtbl.find strata r.head.rel = stratum) rules
       |> List.map (compile_rule t)
     in
+    (match attr with
+    | None -> ()
+    | Some a ->
+      List.iter (fun cr -> cr.cr_arule <- Some (Attr.rule a cr.cr_label)) srules);
     let recursive r = Hashtbl.find strata r = stratum in
     (* delta = tuples derived in the previous round, per relation *)
     let delta : (string, (int array, unit) Hashtbl.t) Hashtbl.t =
@@ -468,11 +495,15 @@ let solve ?(budget = Timer.no_budget) (t : t) : unit =
       Hashtbl.create 16
     in
     let attempts = ref 0 in
-    let emit (r : relation) tup =
+    let round = ref 0 in
+    let emit cr (r : relation) tup =
       incr attempts;
       if !attempts land 0xffff = 0 then Timer.check budget;
       if insert r tup then begin
         t.n_derived <- t.n_derived + 1;
+        (match cr.cr_arule with
+        | None -> ()
+        | Some ar -> Attr.rule_tuples ar);
         let d =
           match Hashtbl.find_opt next r.r_name with
           | Some d -> d
@@ -484,52 +515,93 @@ let solve ?(budget = Timer.no_budget) (t : t) : unit =
         Hashtbl.replace d tup ()
       end
     in
+    (* one rule evaluation = one span, one attribution fire *)
     let timed cr f =
-      let t0 = Timer.now () in
-      Fun.protect ~finally:(fun () ->
-          cr.cr_time <- cr.cr_time +. (Timer.now () -. t0))
-        f
+      Trace.with_span ~cat:"datalog" ("rule:" ^ cr.cr_label) (fun () ->
+          let t0 = Timer.now () in
+          Fun.protect
+            ~finally:(fun () ->
+              let dt = Timer.now () -. t0 in
+              cr.cr_time <- cr.cr_time +. dt;
+              match cr.cr_arule with
+              | None -> ()
+              | Some r ->
+                Attr.rule_fire r;
+                Attr.rule_time r dt)
+            f)
+    in
+    let heartbeat () =
+      (match progress_s with
+      | None -> ()
+      | Some iv ->
+        let now = Timer.now () in
+        if now -. !last_progress >= iv then begin
+          last_progress := now;
+          Fmt.epr
+            "[progress] datalog %.1fs: stratum %d/%d round %d, %d tuples derived@."
+            (now -. t_solve0) stratum max_stratum !round t.n_derived
+        end);
+      Trace.counter "datalog" [ ("derived", float_of_int t.n_derived) ]
     in
     let profile () =
       if Sys.getenv_opt "CSC_DATALOG_PROFILE" <> None then
         List.iter
           (fun cr ->
             if cr.cr_time > 0.2 then
-              Fmt.epr "[datalog] %6.2fs %8d %s :- %s@." cr.cr_time
+              Fmt.epr "[datalog] %6.2fs %8d %s@." cr.cr_time
                 (Hashtbl.length cr.cr_head_rel.r_tuples)
-                cr.cr_rule.head.rel
-                (String.concat ", "
-                   (List.map
-                      (fun a -> (if a.neg then "!" else "") ^ a.rel)
-                      cr.cr_rule.body)))
+                cr.cr_label)
           srules
     in
-    Fun.protect ~finally:profile (fun () ->
-        (* round 0: run every rule of the stratum naively *)
-        List.iter
-          (fun cr ->
-            timed cr (fun () -> eval_rule cr ~delta_idx:(-1) ~delta ~emit))
-          srules;
-        (* semi-naive rounds *)
-        let continue_ = ref (Hashtbl.length next > 0) in
-        while !continue_ do
-          Timer.check budget;
-          Hashtbl.reset delta;
-          Hashtbl.iter (fun k v -> Hashtbl.add delta k v) next;
-          Hashtbl.reset next;
-          List.iter
-            (fun cr ->
-              List.iteri
-                (fun i (a : atom) ->
-                  if
-                    (not a.builtin) && (not a.neg) && recursive a.rel
-                    && Hashtbl.mem delta a.rel
-                  then
-                    timed cr (fun () -> eval_rule cr ~delta_idx:i ~delta ~emit))
-                cr.cr_rule.body)
-            srules;
-          continue_ := Hashtbl.length next > 0
-        done)
+    if srules <> [] then begin
+      let derived0 = t.n_derived in
+      let st0 = Timer.now () in
+      let st_finish () =
+        match attr with
+        | None -> ()
+        | Some a ->
+          let r = Attr.rule a (Printf.sprintf "stratum:%d" stratum) in
+          Attr.rule_fire r;
+          Attr.rule_tuples ~by:(t.n_derived - derived0) r;
+          Attr.rule_time r (Timer.now () -. st0)
+      in
+      Trace.with_span ~cat:"datalog"
+        (Printf.sprintf "stratum:%d" stratum)
+        (fun () ->
+          (* the stratum row is recorded even when the budget expires
+             mid-stratum, so timed-out profiles stay meaningful *)
+          Fun.protect ~finally:st_finish @@ fun () ->
+          Fun.protect ~finally:profile (fun () ->
+              (* round 0: run every rule of the stratum naively *)
+              List.iter
+                (fun cr ->
+                  timed cr (fun () ->
+                      eval_rule cr ~delta_idx:(-1) ~delta ~emit:(emit cr)))
+                srules;
+              (* semi-naive rounds *)
+              let continue_ = ref (Hashtbl.length next > 0) in
+              while !continue_ do
+                Timer.check budget;
+                incr round;
+                heartbeat ();
+                Hashtbl.reset delta;
+                Hashtbl.iter (fun k v -> Hashtbl.add delta k v) next;
+                Hashtbl.reset next;
+                List.iter
+                  (fun cr ->
+                    List.iteri
+                      (fun i (a : atom) ->
+                        if
+                          (not a.builtin) && (not a.neg) && recursive a.rel
+                          && Hashtbl.mem delta a.rel
+                        then
+                          timed cr (fun () ->
+                              eval_rule cr ~delta_idx:i ~delta ~emit:(emit cr)))
+                      cr.cr_rule.body)
+                  srules;
+                continue_ := Hashtbl.length next > 0
+              done))
+    end
   done
 
 (* ---------------------------------------------------------------- queries *)

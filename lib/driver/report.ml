@@ -15,7 +15,7 @@ let metrics_json (m : Metrics.t) : Json.t =
 let opt f = function None -> Json.Null | Some x -> f x
 
 let outcome_json (o : Run.outcome) : Json.t =
-  Obj
+  let base =
     [ ("analysis", Json.Str o.o_analysis);
       ("timeout", Json.Bool o.o_timeout);
       ("time_s", Json.Float o.o_time);
@@ -24,6 +24,13 @@ let outcome_json (o : Run.outcome) : Json.t =
       ("metrics", opt metrics_json o.o_metrics);
       ("shortcuts", Json.Int o.o_shortcuts);
       ("snapshot", opt Snapshot.to_json o.o_snapshot) ]
+  in
+  (* the profile member only appears on profiled runs, so unprofiled report
+     shapes — and the bench --compare gate, which only reads "metrics" —
+     are unchanged *)
+  match o.o_profile with
+  | None -> Obj base
+  | Some p -> Obj (base @ [ ("profile", Csc_obs.Attr.profile_json p) ])
 
 (** One experiment: its name plus the (program, analysis) cells it ran. *)
 let cell_json ~program (o : Run.outcome) : Json.t =

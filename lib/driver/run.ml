@@ -11,6 +11,7 @@ module Metrics = Csc_clients.Metrics
 module Dl = Csc_datalog.Analysis
 module Snapshot = Csc_obs.Snapshot
 module Trace = Csc_obs.Trace
+module Attr = Csc_obs.Attr
 
 (** The analyses of the paper's evaluation, on both engines. [Imp_*] run on
     the imperative engine (Tai-e analog, Table 2), [Doop_*] on the Datalog
@@ -76,6 +77,8 @@ type outcome = {
   o_shortcuts : int;
   o_snapshot : Snapshot.t option;
       (** engine metrics; present even on imperative-engine timeouts *)
+  o_profile : Attr.profile option;
+      (** cost attribution, present iff [run ~profile:true] *)
 }
 
 let timeout_outcome ?snapshot analysis elapsed =
@@ -91,6 +94,7 @@ let timeout_outcome ?snapshot analysis elapsed =
     o_involved = None;
     o_shortcuts = 0;
     o_snapshot = snapshot;
+    o_profile = None;
   }
 
 let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
@@ -111,6 +115,7 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     o_involved = involved;
     o_shortcuts = shortcuts;
     o_snapshot = Some r.Solver.r_snapshot;
+    o_profile = None;
   }
 
 (** Run one analysis under an optional time budget (seconds). Timeouts are
@@ -118,7 +123,8 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     [validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR fails
     fast instead of silently corrupting analysis results. *)
 let rec run ?budget_s ?(validate = false) ?(explain = false)
-    ?(collapse = true) (p : Ir.program) (analysis : analysis) : outcome =
+    ?(collapse = true) ?(profile = false) ?(profile_top = 25) ?progress_s
+    (p : Ir.program) (analysis : analysis) : outcome =
   if validate then Csc_ir.Validate.check_exn p;
   let budget =
     match budget_s with
@@ -131,7 +137,13 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
      the timeout path still snapshots the aborted engine state *)
   let solve ?plugin_of sel =
     let t = Solver.create ~budget ~sel ~collapse p in
-    if explain then Solver.enable_provenance t;
+    if explain then
+      if Solver.enable_provenance t then
+        Fmt.epr
+          "note: provenance recording (--explain) disables online cycle \
+           collapsing for this run; expect a slower solve@.";
+    if profile then Solver.enable_attr t;
+    (match progress_s with Some s -> Solver.set_progress t s | None -> ());
     (match plugin_of with Some f -> Solver.set_plugin t (f t) | None -> ());
     match Solver.run t with
     | () -> Ok t
@@ -139,12 +151,30 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
   in
   let imperative ?plugin_of sel finish =
     match solve ?plugin_of sel with
-    | Ok t -> finish (Solver.result t)
+    | Ok t ->
+      let o = finish (Solver.result t) in
+      if profile then { o with o_profile = Solver.profile ~top:profile_top t }
+      else o
     | Error snapshot -> timeout_outcome ~snapshot analysis (elapsed ())
+  in
+  (* Datalog runs share one attribution table across pre + main phases *)
+  let dl_attr = if profile then Some (Attr.create ()) else None in
+  let dl_profile (o : outcome) : outcome =
+    match dl_attr with
+    | None -> o
+    | Some a ->
+      let prof =
+        Attr.render ~top:profile_top a ~engine:"datalog"
+          ~meth_name:string_of_int ~ptr_name:string_of_int
+      in
+      { o with o_profile = Some prof }
   in
   match analysis with
   | Imp_no_collapse inner ->
-    let o = run ?budget_s ~validate ~explain ~collapse:false p inner in
+    let o =
+      run ?budget_s ~validate ~explain ~collapse:false ~profile ~profile_top
+        ?progress_s p inner
+    in
     { o with o_analysis = name analysis }
   | Imp_ci ->
     imperative Context.ci (fun r -> of_result analysis p r (elapsed ()))
@@ -210,15 +240,15 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
     in
     let dl_run kind =
       Trace.with_span ~cat:"driver" ("datalog:" ^ Dl.kind_name kind) (fun () ->
-          Dl.run ~budget p kind)
+          Dl.run ~budget ?attr:dl_attr ?progress_s p kind)
     in
     match dl_run kind with
-    | r -> of_result analysis p r (elapsed ())
+    | r -> dl_profile (of_result analysis p r (elapsed ()))
     | exception Dl.Timeout -> timeout_outcome analysis (elapsed ()))
   | Doop_zipper -> (
     let dl_run kind =
       Trace.with_span ~cat:"driver" ("datalog:" ^ Dl.kind_name kind) (fun () ->
-          Dl.run ~budget p kind)
+          Dl.run ~budget ?attr:dl_attr ?progress_s p kind)
     in
     match dl_run Dl.Ci with
     | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())
@@ -230,8 +260,9 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
       let pre_time = elapsed () in
       match dl_run (Dl.Selective2obj sel.Zipper.selected) with
       | r ->
-        of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
-          (elapsed ())
+        dl_profile
+          (of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
+             (elapsed ()))
       | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())))
 
 (* ------------------------------------------------------------- recall *)

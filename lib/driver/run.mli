@@ -53,6 +53,9 @@ type outcome = {
   o_snapshot : Csc_obs.Snapshot.t option;
       (** structured engine metrics; present even when the imperative engine
           timed out (the aborted state), [None] only for Datalog timeouts *)
+  o_profile : Csc_obs.Attr.profile option;
+      (** cost attribution (hot methods/pointers/rules), present iff the run
+          was started with [~profile:true] and did not time out *)
 }
 
 (** Run one analysis under an optional wall-clock budget (seconds; a 4 GB
@@ -65,12 +68,22 @@ type outcome = {
     counter to the snapshot); it has no effect on Doop analyses.
     [collapse] (default true) controls the imperative solver's online cycle
     collapsing — semantics-preserving, so results only differ in speed;
-    [Imp_no_collapse] is the same switch as an analysis value. *)
+    [Imp_no_collapse] is the same switch as an analysis value.
+
+    [profile] (default false) collects cost attribution into [o_profile]:
+    per-method/per-pointer propagation on the imperative engine (for Zipper,
+    the main selective analysis), per-rule/per-stratum tuples and time on the
+    Datalog engine (pre + main phases combined); [profile_top] (default 25)
+    caps each rendered table. [progress_s] emits a heartbeat line to stderr
+    every that-many seconds of solving on either engine. *)
 val run :
   ?budget_s:float ->
   ?validate:bool ->
   ?explain:bool ->
   ?collapse:bool ->
+  ?profile:bool ->
+  ?profile_top:int ->
+  ?progress_s:float ->
   Ir.program ->
   analysis ->
   outcome

@@ -19,7 +19,13 @@ type reason =
 
 type t
 
-val create : unit -> t
+(** [max_records] bounds the recorder's memory (default: unbounded). Once
+    [size t] reaches the bound, *new* facts are counted in {!dropped} instead
+    of being stored — re-records of already-held facts are still no-ops, so
+    everything recorded below the bound keeps its full chain. Chains through
+    a dropped fact simply end early, exactly like a chain queried for an
+    unrecorded fact. *)
+val create : ?max_records:int -> unit -> t
 
 (** First write wins; later records of the same fact are ignored. *)
 val record_seed : t -> ptr:int -> obj:int -> label:string -> unit
@@ -43,3 +49,6 @@ val iter_calls : t -> (site:int -> callee:int -> recv:int option -> unit) -> uni
 
 (** Number of recorded facts (points-to + call edges). *)
 val size : t -> int
+
+(** Number of facts refused because the [max_records] bound was hit. *)
+val dropped : t -> int

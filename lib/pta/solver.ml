@@ -41,6 +41,7 @@ module Registry = Csc_obs.Registry
 module Snapshot = Csc_obs.Snapshot
 module Prov = Csc_obs.Provenance
 module Trace = Csc_obs.Trace
+module Attr = Csc_obs.Attr
 
 (* ------------------------------------------------------------- pointers *)
 
@@ -152,6 +153,10 @@ type t = {
   g_time : Registry.gauge;
   g_heap : Registry.gauge;          (* peak major-heap words observed *)
   mutable prov : Prov.t option;     (* opt-in derivation recorder *)
+  mutable attr : Attr.t option;     (* opt-in cost-attribution tables *)
+  (* [--progress] heartbeat: 0. = off *)
+  mutable progress_s : float;
+  mutable last_progress : float;
 }
 
 exception Timeout
@@ -204,6 +209,9 @@ let create ?(budget = Timer.no_budget) ?(sel = Context.ci) ?(collapse = true)
     g_time = Registry.gauge reg "time_s";
     g_heap = Registry.gauge reg "heap_words_peak";
     prov = None;
+    attr = None;
+    progress_s = 0.;
+    last_progress = 0.;
   }
 
 let set_plugin t p = t.plugin <- p
@@ -211,14 +219,34 @@ let set_plugin t p = t.plugin <- p
 (** Start recording derivations. Must be called before {!run} to get complete
     chains; idempotent. Disables online cycle collapsing: derivation chains
     are reported in terms of original (pre-merge) pointer names, which only
-    the uncollapsed graph preserves exactly. *)
-let enable_provenance t =
+    the uncollapsed graph preserves exactly. Returns [true] iff this call
+    just turned collapsing off — callers surface that to the user instead of
+    silently running slower. [max_records] caps the recorder's memory
+    (default 1M facts; overflow counts into the [prov_dropped] counter of
+    {!snapshot}). *)
+let enable_provenance ?(max_records = 1_000_000) t =
   if t.prov = None then begin
-    t.prov <- Some (Prov.create ());
-    t.collapse <- false
+    t.prov <- Some (Prov.create ~max_records ());
+    let was_collapsing = t.collapse in
+    t.collapse <- false;
+    was_collapsing
   end
+  else false
 
 let provenance t = t.prov
+
+(** Start cost attribution (per-method/per-pointer tables, delta histogram);
+    must precede {!run} to cover the whole solve. Idempotent; unlike
+    provenance it perturbs nothing, it only records. *)
+let enable_attr t = if t.attr = None then t.attr <- Some (Attr.create ())
+
+let attr t = t.attr
+
+(** Emit a heartbeat line to stderr every [interval_s] seconds while
+    solving. *)
+let set_progress t interval_s =
+  t.progress_s <- interval_s;
+  t.last_progress <- Timer.now ()
 
 (* environment handed to context selectors *)
 let env_of t : Context.env =
@@ -267,6 +295,14 @@ let ptr_desc t p = Interner.get t.ptrs p
 let intern_obj t ~hctx ~site : int = Interner.intern t.objs (hctx, site)
 let obj_alloc t o = snd (Interner.get t.objs o)
 let obj_hctx t o = fst (Interner.get t.objs o)
+
+(* owning method for cost attribution: variables belong to their declaring
+   method, heap nodes to the allocating method, statics to none (-1) *)
+let meth_of_ptr t p : int =
+  match Interner.get t.ptrs p with
+  | PVar (_, v) -> (Ir.var t.prog v).v_method
+  | PField (o, _) | PArr o -> (Ir.alloc t.prog (obj_alloc t o)).a_method
+  | PStatic _ -> -1
 
 (** Object's runtime class, [None] for arrays. *)
 let obj_class t o = Ir.alloc_class t.prog (obj_alloc t o)
@@ -357,6 +393,10 @@ let add_edge ?(kind = KNormal) ?filter t ~src ~dst =
       let e = { e_dst = dst; e_filter = filter; e_kind = kind } in
       Vec.set t.succs src (e :: Vec.get t.succs src);
       Registry.incr t.c_edges;
+      (match (t.attr, kind) with
+      | Some a, KShortcut ->
+        Attr.observe_shortcut a ~meth:(meth_of_ptr t dst) ~ptr:dst
+      | _ -> ());
       t.plugin.pl_on_edge ~src e;
       let cur = Vec.get t.pts src in
       if not (Bits.is_empty cur) then begin
@@ -657,6 +697,11 @@ let collapse_class t (nodes : int list) =
           match Uf.union t.uf r n with Some (rep, _) -> rep | None -> r)
         first rest
     in
+    (match t.attr with
+    | None -> ()
+    | Some a ->
+      Attr.observe_merge a ~meth:(meth_of_ptr t rep) ~ptr:rep
+        ~absorbed:(List.length rest));
     (* union of the members' points-to sets, and of their pending deltas *)
     let u = Bits.create () in
     let pend = Bits.create () in
@@ -776,7 +821,31 @@ let scc_sweep t =
 let sample_heap t =
   let st = Gc.quick_stat () in
   Registry.set_max t.g_heap (float_of_int st.Gc.heap_words);
-  Trace.sample_gc ()
+  Trace.sample_gc ();
+  (* solver counter series merged into the span stream ([--trace]); a single
+     branch inside Trace when tracing is off *)
+  Trace.counter "solver"
+    [
+      ("ptrs", float_of_int (Registry.value t.c_ptrs));
+      ("pfg_edges", float_of_int (Registry.value t.c_edges));
+      ("propagated", float_of_int (Registry.value t.c_prop));
+      ("ctx_methods", float_of_int (Registry.value t.c_reach_ctx));
+    ]
+
+(* [--progress] heartbeat: one stderr line per interval, cheap enough to
+   check from the 255-iteration cadence *)
+let maybe_progress t ~t0 ~iter =
+  let now = Timer.now () in
+  if now -. t.last_progress >= t.progress_s then begin
+    t.last_progress <- now;
+    Fmt.epr
+      "[progress] %s+%s %.1fs: %d iters, %d ptrs, %d pfg-edges, %d propagated, %d ctx-methods, wl=%d@."
+      t.sel.sel_name t.plugin.pl_name (now -. t0) iter
+      (Registry.value t.c_ptrs) (Registry.value t.c_edges)
+      (Registry.value t.c_prop)
+      (Registry.value t.c_reach_ctx)
+      (Queue.length t.wl)
+  end
 
 let run_loop (t : t) : unit =
   let t0 = Timer.now () in
@@ -789,6 +858,7 @@ let run_loop (t : t) : unit =
        incr iter;
        if !iter land 255 = 0 then begin
          Timer.check t.budget;
+         if t.progress_s > 0. then maybe_progress t ~t0 ~iter:!iter;
          if !iter land 4095 = 0 then sample_heap t;
          if t.collapse && !iter land 65535 = 0 then scc_sweep t
        end;
@@ -814,7 +884,12 @@ let run_loop (t : t) : unit =
            (match Bits.union_into ~into:cur objs with
            | None -> ()
            | Some delta ->
-             Registry.incr ~by:(Bits.cardinal delta) t.c_prop;
+             let dn = Bits.cardinal delta in
+             Registry.incr ~by:dn t.c_prop;
+             (match t.attr with
+             | None -> ()
+             | Some a ->
+               Attr.observe_pop a ~meth:(meth_of_ptr t p) ~ptr:p ~delta:dn);
              (* flow along PFG edges *)
              List.iter
                (fun e ->
@@ -888,7 +963,9 @@ let snapshot (t : t) : Snapshot.t =
   let s = Registry.snapshot t.reg in
   match t.prov with
   | None -> s
-  | Some pr -> Snapshot.with_counter s "prov_records" (Prov.size pr)
+  | Some pr ->
+    let s = Snapshot.with_counter s "prov_records" (Prov.size pr) in
+    Snapshot.with_counter s "prov_dropped" (Prov.dropped pr)
 
 let result (t : t) : result =
   (* project pointer facts onto variables, merging contexts and abstracting
@@ -967,6 +1044,19 @@ let explain_chain t ~ptr ~obj : string list =
           Printf.sprintf "%s <- %s  [%s]" (ptr_to_string t p)
             (ptr_to_string t src) via)
       (Prov.chain pr ~ptr ~obj)
+
+(** Rendered cost-attribution profile ([None] unless {!enable_attr} preceded
+    the run). Ids resolve through {!Ir.method_name} / {!ptr_to_string}, so
+    the result is deterministic for a deterministic run. *)
+let profile ?top (t : t) : Attr.profile option =
+  match t.attr with
+  | None -> None
+  | Some a ->
+    Some
+      (Attr.render ?top a ~engine:"imperative"
+         ~meth_name:(fun m ->
+           if m < 0 then "<static>" else Ir.method_name t.prog m)
+         ~ptr_name:(ptr_to_string t))
 
 (** Run an analysis end to end. Raises {!Timeout} if the budget expires. *)
 let analyze ?budget ?sel ?collapse ?plugin_of (prog : Ir.program) : t =

@@ -80,7 +80,7 @@ let all_chains t =
 
 let solve_with_provenance ~collapse p =
   let t = Solver.create ~collapse p in
-  Solver.enable_provenance t;
+  ignore (Solver.enable_provenance t : bool);
   Solver.run t;
   t
 

@@ -241,7 +241,7 @@ let test_trace_file_valid () =
 let test_provenance_chains () =
   let p = compile Fixtures.carton in
   let t = Solver.create p in
-  Solver.enable_provenance t;
+  ignore (Solver.enable_provenance t : bool);
   Solver.run t;
   let pr =
     match Solver.provenance t with
