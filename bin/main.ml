@@ -138,6 +138,18 @@ let progress_arg =
 
 let progress_opt s = if s <= 0. then None else Some s
 
+let jobs_arg =
+  let doc =
+    "Solve imperative analyses on $(docv) domains (sharded bulk-synchronous \
+     solver; results are identical for every value, including 1). 0 = this \
+     machine's recommended domain count. Parallel execution needs an OCaml 5 \
+     build; otherwise the run falls back to one domain with a note."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let resolve_jobs j =
+  if j = 0 then Csc_common.Domains_compat.recommended () else max 1 j
+
 let list_cmd =
   let run () =
     Fmt.pr "%-12s %8s %8s %8s %8s %8s@." "program" "classes" "methods" "stmts"
@@ -223,7 +235,7 @@ let analyze_cmd =
                 prov_records counter to the snapshot).")
   in
   let run spec analyses budget validate explain no_collapse trace profile
-      progress =
+      progress jobs =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let s = Ir.stats p in
@@ -237,7 +249,8 @@ let analyze_cmd =
           let o =
             Run.run ?budget_s:(budget_opt budget) ~validate ~explain
               ~collapse:(not no_collapse) ~profile:(profile <> None)
-              ?progress_s:(progress_opt progress) p (analysis_of_string a)
+              ?progress_s:(progress_opt progress) ~jobs:(resolve_jobs jobs) p
+              (analysis_of_string a)
           in
           print_outcome o;
           o)
@@ -256,7 +269,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
     Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg
           $ explain $ no_collapse_arg $ trace_arg $ profile_file_arg
-          $ progress_arg)
+          $ progress_arg $ jobs_arg)
 
 (* --------------------------------------------------------------- explain *)
 
@@ -426,13 +439,14 @@ let check_cmd =
          & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
   in
   let run spec analysis checks json include_jdk fail_on budget validate
-      no_collapse trace profile progress =
+      no_collapse trace profile progress jobs =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let o =
       Run.run ?budget_s:(budget_opt budget) ~validate
         ~collapse:(not no_collapse) ~profile:(profile <> None)
-        ?progress_s:(progress_opt progress) p (analysis_of_string analysis)
+        ?progress_s:(progress_opt progress) ~jobs:(resolve_jobs jobs) p
+        (analysis_of_string analysis)
     in
     (match profile with
     | None -> ()
@@ -467,7 +481,7 @@ let check_cmd =
           dead-store) backed by a pointer analysis")
     Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
           $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
-          $ trace_arg $ profile_file_arg $ progress_arg)
+          $ trace_arg $ profile_file_arg $ progress_arg $ jobs_arg)
 
 let profile_cmd =
   let analyses =
@@ -492,7 +506,7 @@ let profile_cmd =
              ~doc:"Write the JSON report to $(docv) instead of stdout \
                    (implies --json).")
   in
-  let run spec analyses top json out budget progress trace =
+  let run spec analyses top json out budget progress trace jobs =
     with_trace trace @@ fun () ->
     let p = load_program spec in
     let analyses =
@@ -503,8 +517,8 @@ let profile_cmd =
         (fun a ->
           ( a,
             Run.run ?budget_s:(budget_opt budget) ~profile:true
-              ~profile_top:top ?progress_s:(progress_opt progress) p
-              (analysis_of_string a) ))
+              ~profile_top:top ?progress_s:(progress_opt progress)
+              ~jobs:(resolve_jobs jobs) p (analysis_of_string a) ))
         analyses
     in
     if json || out <> None then begin
@@ -550,7 +564,7 @@ let profile_cmd =
          "Cost attribution: run analyses with solver telemetry enabled and \
           report the hot methods, pointers and rules driving solve time")
     Term.(const run $ program_arg $ analyses $ top $ json $ out $ budget_arg
-          $ progress_arg $ trace_arg)
+          $ progress_arg $ trace_arg $ jobs_arg)
 
 let taint_cmd =
   let analysis =
@@ -578,7 +592,7 @@ let taint_cmd =
          & info [ "include-jdk" ] ~doc:"Report leaks in mini-JDK code too.")
   in
   let run spec analysis spec_file json include_jdk fail_on budget validate
-      no_collapse trace =
+      no_collapse trace jobs =
     with_trace trace @@ fun () ->
     let tspec =
       match spec_file with
@@ -593,7 +607,8 @@ let taint_cmd =
     let p = load_program spec in
     let o =
       Run.run ?budget_s:(budget_opt budget) ~validate
-        ~collapse:(not no_collapse) p (analysis_of_string analysis)
+        ~collapse:(not no_collapse) ~jobs:(resolve_jobs jobs) p
+        (analysis_of_string analysis)
     in
     match o.Run.o_result with
     | None -> Fmt.epr "analysis %s timed out after %.1fs@." analysis o.Run.o_time
@@ -618,7 +633,7 @@ let taint_cmd =
           sites where a tainted value may reach a sink")
     Term.(const run $ program_arg $ analysis $ spec_file $ json $ include_jdk
           $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
-          $ trace_arg)
+          $ trace_arg $ jobs_arg)
 
 let callgraph_cmd =
   let analysis =
@@ -710,7 +725,7 @@ let fuzz_cmd =
                    is expected to FAIL."
              ~docs:Cmdliner.Manpage.s_none)
   in
-  let run n seed max_size minimize out inject trace =
+  let run n seed max_size minimize out inject trace jobs =
     with_trace trace @@ fun () ->
     let cfg =
       {
@@ -722,6 +737,7 @@ let fuzz_cmd =
         out_dir = out;
         inject_unsound = inject;
         progress = true;
+        jobs = resolve_jobs jobs;
       }
     in
     let r = Campaign.run cfg in
@@ -755,7 +771,7 @@ let fuzz_cmd =
          "Soundness fuzzing: random programs, interpreter ground truth, the \
           full engine/configuration matrix, delta-debugged counterexamples")
     Term.(const run $ n_arg $ seed_arg $ max_size_arg $ minimize_arg $ out_arg
-          $ inject_arg $ trace_arg)
+          $ inject_arg $ trace_arg $ jobs_arg)
 
 let main_cmd =
   Cmd.group

@@ -5,6 +5,7 @@
 open Csc_common
 module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
+module Par = Csc_pta.Par
 module Context = Csc_pta.Context
 module Csc = Csc_core.Csc
 module Metrics = Csc_clients.Metrics
@@ -124,8 +125,42 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     fast instead of silently corrupting analysis results. *)
 let rec run ?budget_s ?(validate = false) ?(explain = false)
     ?(collapse = true) ?(profile = false) ?(profile_top = 25) ?progress_s
-    (p : Ir.program) (analysis : analysis) : outcome =
+    ?(jobs = 1) (p : Ir.program) (analysis : analysis) : outcome =
   if validate then Csc_ir.Validate.check_exn p;
+  (* a requested --jobs N that cannot be honoured says so instead of
+     silently running sequentially (the results are identical either way;
+     only the wall-clock expectation differs) *)
+  let jobs = max 1 jobs in
+  let jobs =
+    if jobs > 1 && not Domains_compat.available then begin
+      Fmt.epr
+        "note: this build has no multicore runtime (OCaml < 5); --jobs %d \
+         runs on a single domain@."
+        jobs;
+      1
+    end
+    else jobs
+  in
+  let jobs =
+    if jobs > 1 && explain then begin
+      Fmt.epr
+        "note: provenance recording (--explain) is inherently sequential; \
+         --jobs %d runs on a single domain@."
+        jobs;
+      1
+    end
+    else jobs
+  in
+  let jobs =
+    if jobs > 1 && is_datalog analysis then begin
+      Fmt.epr
+        "note: --jobs applies to the imperative engine only; %s runs \
+         sequentially@."
+        (name analysis);
+      1
+    end
+    else jobs
+  in
   let budget =
     match budget_s with
     | Some s -> Timer.budget_of_seconds s
@@ -145,7 +180,7 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
     if profile then Solver.enable_attr t;
     (match progress_s with Some s -> Solver.set_progress t s | None -> ());
     (match plugin_of with Some f -> Solver.set_plugin t (f t) | None -> ());
-    match Solver.run t with
+    match Par.run ~jobs t with
     | () -> Ok t
     | exception Solver.Timeout -> Error (Solver.snapshot t)
   in
@@ -173,7 +208,7 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
   | Imp_no_collapse inner ->
     let o =
       run ?budget_s ~validate ~explain ~collapse:false ~profile ~profile_top
-        ?progress_s p inner
+        ?progress_s ~jobs p inner
     in
     { o with o_analysis = name analysis }
   | Imp_ci ->

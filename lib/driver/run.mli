@@ -75,7 +75,15 @@ type outcome = {
     the main selective analysis), per-rule/per-stratum tuples and time on the
     Datalog engine (pre + main phases combined); [profile_top] (default 25)
     caps each rendered table. [progress_s] emits a heartbeat line to stderr
-    every that-many seconds of solving on either engine. *)
+    every that-many seconds of solving on either engine.
+
+    [jobs] (default 1) solves imperative analyses on that many domains via
+    the sharded bulk-synchronous engine ({!Csc_pta.Par}) — the fixpoint,
+    precision metrics and plugin behaviour are identical to the sequential
+    solver for every value. When a requested [jobs > 1] cannot be honoured —
+    a sequential-only build (OCaml < 5), provenance recording ([explain]),
+    or a Datalog analysis — the run falls back to one domain and says why on
+    stderr rather than degrading silently. *)
 val run :
   ?budget_s:float ->
   ?validate:bool ->
@@ -84,6 +92,7 @@ val run :
   ?profile:bool ->
   ?profile_top:int ->
   ?progress_s:float ->
+  ?jobs:int ->
   Ir.program ->
   analysis ->
   outcome

@@ -29,6 +29,7 @@ type cfg = {
       (** enable {!Csc_core.Csc.sabotage_drop_shortcuts} for the whole
           campaign — a self-test that the oracle catches a real bug *)
   progress : bool;    (** print a progress line every few hundred programs *)
+  jobs : int;         (** domains per imperative solve (Soundness.check) *)
 }
 
 let default_cfg =
@@ -41,6 +42,7 @@ let default_cfg =
     max_shrink_checks = 300;
     inject_unsound = false;
     progress = false;
+    jobs = 1;
   }
 
 type case = {
@@ -224,7 +226,7 @@ let run (cfg : cfg) : report =
               Registry.incr
                 ~by:(Bits.cardinal dyn.Csc_interp.Interp.dyn_taint_sinks)
                 c_taint_hits;
-              match Soundness.check p with
+              match Soundness.check ~jobs:cfg.jobs p with
               | [] -> ()
               | violations ->
                 Registry.incr c_violating;
@@ -233,7 +235,7 @@ let run (cfg : cfg) : report =
                   "fuzz.violation";
                 let min_source, min_stmts =
                   if cfg.minimize then begin
-                    let oracle q = Soundness.check q <> [] in
+                    let oracle q = Soundness.check ~jobs:cfg.jobs q <> [] in
                     let small, used =
                       minimize ~max_checks:cfg.max_shrink_checks ~oracle plan
                     in

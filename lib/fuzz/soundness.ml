@@ -188,7 +188,7 @@ let cross_check p aname bname a b kind : violation list =
     [matrix] (default {!default_matrix}), check dynamic ⊆ static for each,
     and cross-check the pairs that must agree exactly. An empty list means
     the program exposes no bug. [max_steps] bounds the concrete run. *)
-let check ?(matrix = default_matrix) ?(max_steps = 2_000_000)
+let check ?(matrix = default_matrix) ?(max_steps = 2_000_000) ?(jobs = 1)
     (p : Ir.program) : violation list =
   (* dynamic taint tags ride along whenever the program has both a source
      and a sink under the builtin spec (the generator's [Flow] surface) *)
@@ -202,7 +202,7 @@ let check ?(matrix = default_matrix) ?(max_steps = 2_000_000)
     List.map
       (fun a ->
         let aname = Run.name a in
-        match Run.run ~validate:false p a with
+        match Run.run ~validate:false ~jobs p a with
         | { Run.o_result = Some r; _ } -> (a, aname, Ok r)
         | { Run.o_timeout; _ } ->
           ( a,

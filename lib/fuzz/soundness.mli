@@ -40,6 +40,13 @@ val app_stmt_count : Ir.program -> int
 
 (** Run the full oracle on one program; empty list = no bug exposed.
     [matrix] defaults to {!default_matrix}; [max_steps] (default 2M) bounds
-    the concrete run. *)
+    the concrete run. [jobs] (default 1) solves the imperative analyses on
+    that many domains — the oracle then doubles as a differential check of
+    the parallel solver, since every containment and cross-check must hold
+    regardless of how the fixpoint was scheduled. *)
 val check :
-  ?matrix:Run.analysis list -> ?max_steps:int -> Ir.program -> violation list
+  ?matrix:Run.analysis list ->
+  ?max_steps:int ->
+  ?jobs:int ->
+  Ir.program ->
+  violation list
