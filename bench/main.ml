@@ -146,6 +146,26 @@ let table1 cfg =
       "Table 1: efficiency and precision on the Datalog engine (Doop analog)"
     [ Run.Doop_ci; Run.Doop_2obj; Run.Doop_2type; Run.Doop_zipper; Run.Doop_csc ]
 
+(* ---------------------------------------------------------------- custom *)
+
+(* [custom --analyses CSV]: an ad-hoc efficiency table over any analyses the
+   grammar accepts (e.g. --analyses csc,kobj:3,no-collapse:csc). Parsed with
+   Run.analysis_of_string so bench, the CLI and the server agree on names. *)
+let custom_analyses : Run.analysis list ref = ref []
+
+let custom_exp cfg =
+  match !custom_analyses with
+  | [] ->
+    Fmt.epr
+      "custom: no analyses given; pass --analyses CSV (e.g. --analyses \
+       csc,2obj,kobj:3)@."
+  | analyses ->
+    efficiency_table cfg
+      ~title:
+        (Fmt.str "Custom: %s"
+           (String.concat ", " (List.map Run.name analyses)))
+      analyses
+
 (* --------------------------------------------------------------- figure 12 *)
 
 let fig12 cfg =
@@ -794,7 +814,8 @@ let micro () =
 
 let experiment_names =
   [ "fig12"; "table1"; "table2"; "table3"; "recall"; "ablation"; "kstudy";
-    "extras"; "checks"; "collapse"; "taint"; "profile"; "scaling"; "micro" ]
+    "extras"; "checks"; "collapse"; "taint"; "profile"; "scaling"; "micro";
+    "custom" ]
 
 (* the (program, analysis) cells each experiment reads. Serializing an
    experiment maps its grid through the memo cache, so the report re-runs
@@ -824,6 +845,7 @@ let grid_of_experiment cfg exp : (string * Run.analysis) list =
       [ Run.Imp_ci; Run.Imp_kobj 1; Run.Imp_2obj; Run.Imp_kobj 3; Run.Imp_csc ]
   | "extras" | "checks" -> cross cfg.programs [ Run.Imp_ci; Run.Imp_csc ]
   | "collapse" -> cross cfg.programs collapse_analyses
+  | "custom" -> cross cfg.programs !custom_analyses
   | _ -> []
 
 let experiment_json cfg exp : Json.t option =
@@ -990,6 +1012,18 @@ let () =
     }
   in
   run_jobs := max 1 (int_of_float (value ~default:1. "--jobs"));
+  (match string_value "--analyses" with
+  | None -> ()
+  | Some csv ->
+    custom_analyses :=
+      List.map
+        (fun s ->
+          match Run.analysis_of_string (String.trim s) with
+          | Ok a -> a
+          | Error e ->
+            Fmt.epr "bench: --analyses: %s@." e;
+            exit 2)
+        (String.split_on_char ',' csv));
   let experiments =
     List.filter
       (fun a -> not (String.length a > 1 && a.[0] = '-'))
@@ -1026,6 +1060,7 @@ let () =
       | "profile" -> profile_exp cfg
       | "scaling" -> scaling_exp cfg
       | "micro" -> micro ()
+      | "custom" -> custom_exp cfg
       | _ -> ());
       if json_mode <> None || compare_file <> None then
         match experiment_json cfg e with

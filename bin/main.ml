@@ -10,12 +10,20 @@
     - [check]     : run the flow-sensitive checkers backed by an analysis
     - [profile]   : cost attribution — hot methods, pointers and rules
     - [recall]    : the §5.1 recall experiment for one program
+    - [serve]     : resident analysis server on a unix socket
+    - [client]    : send one JSON request to a running server
 
     [--trace FILE] on the analysis commands records a Chrome trace_event
-    timeline of the phases (open in chrome://tracing or Perfetto). *)
+    timeline of the phases (open in chrome://tracing or Perfetto).
+
+    The batch analysis subcommands ([analyze]/[check]/[taint]/[profile]) and
+    the server share one code path: a {!Csc_driver.Run.spec} built from the
+    common flag set, executed through a {!Csc_driver.Session} — batch mode
+    simply uses a session that lives for one process. *)
 
 module Ir = Csc_ir.Ir
 module Run = Csc_driver.Run
+module Session = Csc_driver.Session
 module Report = Csc_driver.Report
 module Suite = Csc_workloads.Suite
 module Snapshot = Csc_obs.Snapshot
@@ -25,49 +33,24 @@ module Json = Csc_obs.Json
 module Campaign = Csc_fuzz.Campaign
 module Soundness = Csc_fuzz.Soundness
 
-let load_program (spec : string) : Ir.program =
-  if List.mem spec Suite.names then Suite.compile spec
-  else if Sys.file_exists spec then begin
-    let ic = open_in_bin spec in
-    let n = in_channel_length ic in
-    let src = really_input_string ic n in
-    close_in ic;
-    Csc_lang.Frontend.compile_string ~name:spec src
-  end
-  else
-    Fmt.failwith "unknown program %S (not a suite name or a file)" spec
+(* the process-lifetime session: batch subcommands run every analysis
+   through it, so repeated (program, spec) pairs in one invocation are
+   solved once — the same cache the server keeps across requests *)
+let session = lazy (Session.create ())
 
-let analysis_of_string = function
-  | "ci" -> Run.Imp_ci
-  | "csc" -> Run.Imp_csc
-  | "csc-field" ->
-    Run.Imp_csc_cfg
-      { field_pattern = true; container_pattern = false; local_flow = false }
-  | "csc-container" ->
-    Run.Imp_csc_cfg
-      { field_pattern = false; container_pattern = true; local_flow = false }
-  | "csc-localflow" ->
-    Run.Imp_csc_cfg
-      { field_pattern = false; container_pattern = false; local_flow = true }
-  | "2obj" -> Run.Imp_2obj
-  | "2type" -> Run.Imp_2type
-  | "2call" -> Run.Imp_2call
-  | "1obj" -> Run.Imp_kobj 1
-  | "3obj" -> Run.Imp_kobj 3
-  | "1type" -> Run.Imp_ktype 1
-  | "1call" -> Run.Imp_kcall 1
-  | "zipper-e" -> Run.Imp_zipper
-  | "doop-ci" -> Run.Doop_ci
-  | "doop-csc" -> Run.Doop_csc
-  | "doop-2obj" -> Run.Doop_2obj
-  | "doop-2type" -> Run.Doop_2type
-  | "doop-zipper-e" -> Run.Doop_zipper
-  | s -> Fmt.failwith "unknown analysis %S" s
+let load_program_d (spec : string) : Ir.program * string =
+  match Session.load (Lazy.force session) spec with
+  | Ok pd -> pd
+  | Error msg -> Fmt.failwith "%s" msg
 
-let all_analysis_names =
-  [ "ci"; "csc"; "csc-field"; "csc-container"; "csc-localflow"; "1obj";
-    "2obj"; "3obj"; "1type"; "2type"; "1call"; "2call"; "zipper-e"; "doop-ci";
-    "doop-csc"; "doop-2obj"; "doop-2type"; "doop-zipper-e" ]
+let load_program (spec : string) : Ir.program = fst (load_program_d spec)
+
+let analysis_of_string s =
+  match Run.analysis_of_string s with
+  | Ok a -> a
+  | Error msg -> Fmt.failwith "%s" msg
+
+let all_analysis_names = Run.analysis_names
 
 let print_outcome (o : Run.outcome) =
   if o.o_timeout then
@@ -149,6 +132,57 @@ let jobs_arg =
 
 let resolve_jobs j =
   if j = 0 then Csc_common.Domains_compat.recommended () else max 1 j
+
+(* The run-spec flags shared by analyze/check/taint/profile/serve: one
+   Cmdliner term, so the flag set cannot drift between subcommands again
+   (--budget/--jobs/--progress used to exist on some and not others). *)
+type common = {
+  cm_budget : float;
+  cm_validate : bool;
+  cm_no_collapse : bool;
+  cm_jobs : int;
+  cm_progress : float;
+  cm_trace : string option;
+}
+
+let common_term =
+  let mk budget validate no_collapse jobs progress trace =
+    {
+      cm_budget = budget;
+      cm_validate = validate;
+      cm_no_collapse = no_collapse;
+      cm_jobs = jobs;
+      cm_progress = progress;
+      cm_trace = trace;
+    }
+  in
+  Cmdliner.Term.(
+    const mk $ budget_arg $ validate_arg $ no_collapse_arg $ jobs_arg
+    $ progress_arg $ trace_arg)
+
+let spec_of_common ?(profile = false) ?(profile_top = 25) c analysis =
+  {
+    (Run.spec analysis) with
+    Run.sp_budget_s = budget_opt c.cm_budget;
+    sp_validate = c.cm_validate;
+    sp_collapse = not c.cm_no_collapse;
+    sp_profile = profile;
+    sp_profile_top = profile_top;
+    sp_progress_s = progress_opt c.cm_progress;
+    sp_jobs = resolve_jobs c.cm_jobs;
+  }
+
+(* every batch analysis goes through the session cache — same code path as
+   the server *)
+let run_cached (spec : Run.spec) (p : Ir.program) (digest : string) :
+    Run.outcome =
+  fst (Session.outcome (Lazy.force session) ~digest spec p)
+
+(* check/taint --json: diagnostics under the versioned envelope, keeping
+   Diagnostic.render_json's deterministic one-object-per-line body *)
+let print_diagnostics_json p ds =
+  Printf.printf "{\"schema\":%d,\n\"diagnostics\": %s}\n" Json.schema_version
+    (String.trim (Csc_checks.Diagnostic.render_json p ds))
 
 let list_cmd =
   let run () =
@@ -234,10 +268,9 @@ let analyze_cmd =
                "Record points-to provenance (imperative engine; adds a \
                 prov_records counter to the snapshot).")
   in
-  let run spec analyses budget validate explain no_collapse trace profile
-      progress jobs =
-    with_trace trace @@ fun () ->
-    let p = load_program spec in
+  let run spec analyses explain profile common =
+    with_trace common.cm_trace @@ fun () ->
+    let p, digest = load_program_d spec in
     let s = Ir.stats p in
     Fmt.pr "program: %s (%a)@." spec Ir.pp_stats s;
     let analyses =
@@ -246,12 +279,15 @@ let analyze_cmd =
     let outcomes =
       List.map
         (fun a ->
-          let o =
-            Run.run ?budget_s:(budget_opt budget) ~validate ~explain
-              ~collapse:(not no_collapse) ~profile:(profile <> None)
-              ?progress_s:(progress_opt progress) ~jobs:(resolve_jobs jobs) p
-              (analysis_of_string a)
+          let rspec =
+            {
+              (spec_of_common ~profile:(profile <> None) common
+                 (analysis_of_string a))
+              with
+              Run.sp_explain = explain;
+            }
           in
+          let o = run_cached rspec p digest in
           print_outcome o;
           o)
         analyses
@@ -260,55 +296,17 @@ let analyze_cmd =
     | None -> ()
     | Some file ->
       Report.write_file file
-        (Json.Obj
+        (Json.with_schema
            [ ("program", Json.Str spec);
              ("outcomes", Json.List (List.map Report.outcome_json outcomes)) ]);
       Fmt.pr "profile written to %s@." file
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Run pointer analyses and print time + metrics")
-    Term.(const run $ program_arg $ analyses $ budget_arg $ validate_arg
-          $ explain $ no_collapse_arg $ trace_arg $ profile_file_arg
-          $ progress_arg $ jobs_arg)
+    Term.(const run $ program_arg $ analyses $ explain $ profile_file_arg
+          $ common_term)
 
 (* --------------------------------------------------------------- explain *)
-
-module Solver = Csc_pta.Solver
-module Context = Csc_pta.Context
-
-(* [explain] drives the imperative solver directly: it needs the live solver
-   handle to walk provenance chains, which the driver does not expose *)
-let selector_of = function
-  | "ci" | "csc" | "csc-field" | "csc-container" | "csc-localflow" ->
-    Context.ci
-  | "1obj" -> Context.kobj ~k:1 ~hk:1
-  | "2obj" -> Context.kobj ~k:2 ~hk:1
-  | "3obj" -> Context.kobj ~k:3 ~hk:2
-  | "1type" -> Context.ktype ~k:1 ~hk:1
-  | "2type" -> Context.ktype ~k:2 ~hk:1
-  | "1call" -> Context.kcall ~k:1 ~hk:1
-  | "2call" -> Context.kcall ~k:2 ~hk:1
-  | s -> Fmt.failwith "explain: unsupported analysis %S (imperative only)" s
-
-let plugin_config_of = function
-  | "csc" -> Some Csc_core.Csc.default_config
-  | "csc-field" ->
-    Some
-      Csc_core.Csc.
-        { field_pattern = true; container_pattern = false; local_flow = false }
-  | "csc-container" ->
-    Some
-      Csc_core.Csc.
-        { field_pattern = false; container_pattern = true; local_flow = false }
-  | "csc-localflow" ->
-    Some
-      Csc_core.Csc.
-        { field_pattern = false; container_pattern = false; local_flow = true }
-  | _ -> None
-
-let is_suffix ~affix s =
-  let la = String.length affix and ls = String.length s in
-  la <= ls && String.sub s (ls - la) la = affix
 
 let explain_cmd =
   let analysis =
@@ -330,54 +328,24 @@ let explain_cmd =
   let run spec analysis var limit budget trace =
     with_trace trace @@ fun () ->
     let p = load_program spec in
-    let budget =
-      match budget_opt budget with
-      | Some s -> Csc_common.Timer.budget_of_seconds s
-      | None -> Csc_common.Timer.no_budget
-    in
-    let t = Solver.create ~budget ~sel:(selector_of analysis) p in
-    if Solver.enable_provenance t then
-      Fmt.epr
-        "note: provenance recording (explain) disables online cycle \
-         collapsing for this run; expect a slower solve@.";
-    (match plugin_config_of analysis with
-    | Some config -> Solver.set_plugin t (Csc_core.Csc.plugin ~config t)
-    | None -> ());
-    Solver.run t;
-    let matches v =
-      let vr = Ir.var p v in
-      match var with
-      | Some pat ->
-        is_suffix ~affix:pat (Ir.method_name p vr.Ir.v_method ^ "." ^ vr.Ir.v_name)
-      | None ->
-        (* scan mode: application variables only, the mini-JDK's internals
-           are noise *)
-        not
-          (Csc_lang.Jdk.is_jdk_class
-             (Ir.class_name p (Ir.metho p vr.Ir.v_method).Ir.m_class))
-    in
-    let shown = ref 0 in
-    Solver.iter_ptrs t (fun ptr desc ->
-        match desc with
-        | Solver.PVar (_, v) when !shown < limit && matches v ->
-          Csc_common.Bits.iter
-            (fun o ->
-              if !shown < limit then begin
-                incr shown;
-                Fmt.pr "why %s -> %s:@."
-                  (Solver.ptr_to_string t ptr)
-                  (Solver.obj_to_string t o);
-                (match Solver.explain_chain t ~ptr ~obj:o with
-                | [] -> Fmt.pr "  (no recorded derivation)@."
-                | lines -> List.iter (fun l -> Fmt.pr "  %s@." l) lines);
-                Fmt.pr "@."
-              end)
-            (Solver.pts t ptr)
-        | _ -> ());
-    if !shown = 0 then
+    match
+      Csc_driver.Explain.run ?budget_s:(budget_opt budget) ?var ~limit p
+        (analysis_of_string analysis)
+    with
+    | Error msg -> Fmt.failwith "%s" msg
+    | Ok [] ->
       Fmt.pr "no points-to facts matched%a@."
         Fmt.(option (fmt " variable %S"))
         var
+    | Ok facts ->
+      List.iter
+        (fun (f : Csc_driver.Explain.fact) ->
+          Fmt.pr "why %s -> %s:@." f.x_ptr f.x_obj;
+          (match f.x_chain with
+          | [] -> Fmt.pr "  (no recorded derivation)@."
+          | lines -> List.iter (fun l -> Fmt.pr "  %s@." l) lines);
+          Fmt.pr "@.")
+        facts
   in
   Cmd.v
     (Cmd.info "explain"
@@ -438,21 +406,20 @@ let check_cmd =
     Arg.(value & flag
          & info [ "include-jdk" ] ~doc:"Report diagnostics in mini-JDK code too.")
   in
-  let run spec analysis checks json include_jdk fail_on budget validate
-      no_collapse trace profile progress jobs =
-    with_trace trace @@ fun () ->
-    let p = load_program spec in
+  let run spec analysis checks json include_jdk fail_on profile common =
+    with_trace common.cm_trace @@ fun () ->
+    let p, digest = load_program_d spec in
     let o =
-      Run.run ?budget_s:(budget_opt budget) ~validate
-        ~collapse:(not no_collapse) ~profile:(profile <> None)
-        ?progress_s:(progress_opt progress) ~jobs:(resolve_jobs jobs) p
-        (analysis_of_string analysis)
+      run_cached
+        (spec_of_common ~profile:(profile <> None) common
+           (analysis_of_string analysis))
+        p digest
     in
     (match profile with
     | None -> ()
     | Some file ->
       Report.write_file file
-        (Json.Obj
+        (Json.with_schema
            [ ("program", Json.Str spec);
              ("outcomes", Json.List [ Report.outcome_json o ]) ]);
       Fmt.epr "profile written to %s@." file);
@@ -461,7 +428,7 @@ let check_cmd =
     | Some r ->
       let checks = if checks = [] then None else Some checks in
       let ds = Csc_checks.Checks.run_all ?checks ~include_jdk p r in
-      if json then print_string (Csc_checks.Diagnostic.render_json p ds)
+      if json then print_diagnostics_json p ds
       else begin
         List.iter
           (fun d -> Fmt.pr "%a@." (Csc_checks.Diagnostic.pp_text p) d)
@@ -480,8 +447,7 @@ let check_cmd =
          "Run the flow-sensitive checkers (null-deref, fail-cast, poly-call, \
           dead-store) backed by a pointer analysis")
     Term.(const run $ program_arg $ analysis $ checks $ json $ include_jdk
-          $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
-          $ trace_arg $ profile_file_arg $ progress_arg $ jobs_arg)
+          $ fail_on_arg $ profile_file_arg $ common_term)
 
 let profile_cmd =
   let analyses =
@@ -506,9 +472,9 @@ let profile_cmd =
              ~doc:"Write the JSON report to $(docv) instead of stdout \
                    (implies --json).")
   in
-  let run spec analyses top json out budget progress trace jobs =
-    with_trace trace @@ fun () ->
-    let p = load_program spec in
+  let run spec analyses top json out common =
+    with_trace common.cm_trace @@ fun () ->
+    let p, digest = load_program_d spec in
     let analyses =
       if List.mem "all" analyses then all_analysis_names else analyses
     in
@@ -516,14 +482,15 @@ let profile_cmd =
       List.map
         (fun a ->
           ( a,
-            Run.run ?budget_s:(budget_opt budget) ~profile:true
-              ~profile_top:top ?progress_s:(progress_opt progress)
-              ~jobs:(resolve_jobs jobs) p (analysis_of_string a) ))
+            run_cached
+              (spec_of_common ~profile:true ~profile_top:top common
+                 (analysis_of_string a))
+              p digest ))
         analyses
     in
     if json || out <> None then begin
       let doc =
-        Json.Obj
+        Json.with_schema
           [ ("program", Json.Str spec);
             ( "profiles",
               Json.List
@@ -563,8 +530,7 @@ let profile_cmd =
        ~doc:
          "Cost attribution: run analyses with solver telemetry enabled and \
           report the hot methods, pointers and rules driving solve time")
-    Term.(const run $ program_arg $ analyses $ top $ json $ out $ budget_arg
-          $ progress_arg $ trace_arg $ jobs_arg)
+    Term.(const run $ program_arg $ analyses $ top $ json $ out $ common_term)
 
 let taint_cmd =
   let analysis =
@@ -591,9 +557,8 @@ let taint_cmd =
     Arg.(value & flag
          & info [ "include-jdk" ] ~doc:"Report leaks in mini-JDK code too.")
   in
-  let run spec analysis spec_file json include_jdk fail_on budget validate
-      no_collapse trace jobs =
-    with_trace trace @@ fun () ->
+  let run spec analysis spec_file json include_jdk fail_on common =
+    with_trace common.cm_trace @@ fun () ->
     let tspec =
       match spec_file with
       | None -> Csc_taint.Taint_spec.builtin
@@ -604,18 +569,16 @@ let taint_cmd =
           Fmt.epr "cannot load taint spec %s: %s@." f e;
           exit 2)
     in
-    let p = load_program spec in
+    let p, digest = load_program_d spec in
     let o =
-      Run.run ?budget_s:(budget_opt budget) ~validate
-        ~collapse:(not no_collapse) ~jobs:(resolve_jobs jobs) p
-        (analysis_of_string analysis)
+      run_cached (spec_of_common common (analysis_of_string analysis)) p digest
     in
     match o.Run.o_result with
     | None -> Fmt.epr "analysis %s timed out after %.1fs@." analysis o.Run.o_time
     | Some r ->
       let res = Csc_taint.Taint.analyze ~spec:tspec p r in
       let ds = Csc_taint.Taint.diagnostics ~include_jdk p res in
-      if json then print_string (Csc_checks.Diagnostic.render_json p ds)
+      if json then print_diagnostics_json p ds
       else begin
         List.iter
           (fun d -> Fmt.pr "%a@." (Csc_checks.Diagnostic.pp_text p) d)
@@ -632,8 +595,7 @@ let taint_cmd =
          "Source→sink taint analysis over the PTA call graph: report call \
           sites where a tainted value may reach a sink")
     Term.(const run $ program_arg $ analysis $ spec_file $ json $ include_jdk
-          $ fail_on_arg $ budget_arg $ validate_arg $ no_collapse_arg
-          $ trace_arg $ jobs_arg)
+          $ fail_on_arg $ common_term)
 
 let callgraph_cmd =
   let analysis =
@@ -773,13 +735,97 @@ let fuzz_cmd =
     Term.(const run $ n_arg $ seed_arg $ max_size_arg $ minimize_arg $ out_arg
           $ inject_arg $ trace_arg $ jobs_arg)
 
+(* ------------------------------------------------------- serve / client *)
+
+let socket_arg =
+  let doc = "Unix socket path the server listens on." in
+  Arg.(value & opt string "/tmp/cutshortcut.sock"
+       & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let max_mem =
+    Arg.(value & opt int 1024
+         & info [ "max-mem" ] ~docv:"MB"
+             ~doc:
+               "Resident result-cache bound in MiB; least-recently-used \
+                solved states are evicted past it.")
+  in
+  let analysis =
+    Arg.(value & opt string "csc"
+         & info [ "analysis"; "a" ]
+             ~doc:"Default analysis for requests that name none.")
+  in
+  let run socket max_mem analysis common =
+    with_trace common.cm_trace @@ fun () ->
+    let defaults = spec_of_common common (analysis_of_string analysis) in
+    let t =
+      Csc_server.Server.create
+        ~max_mem_bytes:(max_mem * 1024 * 1024)
+        ~defaults ()
+    in
+    Fmt.epr "cutshortcut serve: listening on %s (default analysis %s)@."
+      socket analysis;
+    Csc_server.Server.serve t ~socket;
+    Fmt.epr "cutshortcut serve: shut down@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Resident analysis server: a daemon on a unix socket answering \
+          newline-delimited JSON analyze/pt/callgraph/check/taint/explain/\
+          profile/stats requests out of a digest-keyed result cache")
+    Term.(const run $ socket_arg $ max_mem $ analysis $ common_term)
+
+let client_cmd =
+  let wait =
+    Arg.(value & opt float 0.
+         & info [ "wait" ] ~docv:"SECS"
+             ~doc:
+               "Wait up to $(docv) for the socket to accept connections \
+                first (scripting a just-started daemon).")
+  in
+  let request =
+    let doc =
+      "The request: one JSON object, e.g. '{\"cmd\": \"analyze\", \
+       \"program\": \"findbugs\", \"analysis\": \"csc\"}'."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let run socket wait request =
+    if wait > 0. then
+      if not (Csc_server.Client.wait_for_socket ~timeout_s:wait socket) then begin
+        Fmt.epr "client: %s not accepting connections after %.1fs@." socket
+          wait;
+        exit 2
+      end;
+    match Csc_server.Client.request ~socket request with
+    | Error msg ->
+      Fmt.epr "client: %s@." msg;
+      exit 2
+    | Ok reply ->
+      print_endline reply;
+      (* scripting-friendly: error replies exit nonzero *)
+      let ok =
+        match Json.parse reply with
+        | Ok j -> Option.bind (Json.member "ok" j) Json.get_bool = Some true
+        | Error _ -> false
+      in
+      if not ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one JSON request to a running analysis server and print the \
+          reply (exit 1 on an error reply)")
+    Term.(const run $ socket_arg $ wait $ request)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "cutshortcut" ~version:"1.0.0"
        ~doc:"Cut-Shortcut pointer analysis (PLDI 2023) reproduction")
     [ list_cmd; gen_cmd; run_cmd; dump_ir_cmd; analyze_cmd; explain_cmd;
       check_cmd; profile_cmd; taint_cmd; recall_cmd; callgraph_cmd; pts_cmd;
-      fuzz_cmd ]
+      fuzz_cmd; serve_cmd; client_cmd ]
 
 (* cmdliner reserves double-dash spellings for multi-char names, but the
    documented fuzz interface is `--n N`; accept it as an alias of `-n` *)

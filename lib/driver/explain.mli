@@ -1,0 +1,32 @@
+(** "Why does x point to o": provenance-backed derivation chains.
+
+    Hoisted out of the CLI so the [explain] subcommand and the analysis
+    server share one implementation. Explaining needs the live solver handle
+    (the provenance recorder lives inside it), so this module drives
+    {!Csc_pta.Solver} directly instead of going through {!Run} — and it is
+    deliberately not cached by [Session]: provenance recording disables
+    cycle collapsing, so an explained solve is never the solve you want to
+    keep resident. *)
+
+module Ir = Csc_ir.Ir
+
+type fact = {
+  x_ptr : string;   (** rendered pointer, e.g. ["Main.main.x"] *)
+  x_obj : string;   (** rendered object, e.g. ["Item/o16"] *)
+  x_chain : string list;  (** derivation chain, root first; [[]] if none *)
+}
+
+(** [run p a] solves [p] under imperative analysis [a] with provenance on
+    and returns up to [limit] (default 5) explained facts. [var] restricts
+    to variables whose qualified [Class.method.var] name ends with it;
+    without it, application (non-mini-JDK) variables are scanned. [Error]
+    for Datalog/Zipper analyses (no provenance recorder there) and for
+    solver timeouts. Prints the provenance-disables-collapsing note to
+    stderr, like the CLI always has. *)
+val run :
+  ?budget_s:float ->
+  ?var:string ->
+  ?limit:int ->
+  Ir.program ->
+  Run.analysis ->
+  (fact list, string) result

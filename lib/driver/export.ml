@@ -60,3 +60,53 @@ let pts_dump ?method_filter (p : Ir.program) (r : Solver.result) ppf =
                   (Bits.to_list allocs)))
       end)
     p.vars
+
+(* qualified-name suffix matching, shared with [Explain] ("main.x" matches
+   "Main.main.x") *)
+let is_suffix ~affix s =
+  let la = String.length affix and ls = String.length s in
+  la <= ls && String.sub s (ls - la) la = affix
+
+let obj_name (p : Ir.program) (a : int) : string =
+  let s = Ir.alloc p a in
+  Printf.sprintf "%s:%d"
+    (match s.Ir.a_kind with
+    | `Class c -> Ir.class_name p c
+    | `Array _ -> "array"
+    | `String -> "String")
+    s.Ir.a_line
+
+(** JSON points-to sets for the [pt] server request and scripting clients;
+    deterministic (variable-id order, ascending object ids). *)
+let pts_json ?var ?(include_jdk = false) (p : Ir.program) (r : Solver.result) :
+    Csc_obs.Json.t =
+  let module Json = Csc_obs.Json in
+  let rows = ref [] in
+  Array.iter
+    (fun (v : Ir.var) ->
+      if Ir.is_ref_type v.v_ty && Bits.mem r.r_reach v.v_method then begin
+        let qualified = Ir.method_name p v.v_method ^ "." ^ v.v_name in
+        let keep =
+          match var with
+          | Some affix -> is_suffix ~affix qualified
+          | None ->
+            include_jdk
+            || not
+                 (Csc_lang.Jdk.is_jdk_class
+                    (Ir.class_name p (Ir.metho p v.v_method).m_class))
+        in
+        if keep then
+          let allocs = r.r_pt v.v_id in
+          if not (Bits.is_empty allocs) then
+            rows :=
+              Json.Obj
+                [ ("var", Json.Str qualified);
+                  ( "objects",
+                    Json.List
+                      (List.map
+                         (fun a -> Json.Str (obj_name p a))
+                         (Bits.to_list allocs)) ) ]
+              :: !rows
+      end)
+    p.vars;
+  Json.List (List.rev !rows)

@@ -17,3 +17,15 @@ val pts_dump :
   Solver.result ->
   Format.formatter ->
   unit
+
+(** Machine-readable points-to sets: a JSON array of
+    [{"var": "Class.method.name", "objects": ["Class:line", ...]}] over
+    non-empty ref-typed variables of reachable methods. [var] restricts to
+    variables whose qualified name ends with it (e.g. ["main.x"]); without
+    it, mini-JDK internals are skipped unless [include_jdk]. *)
+val pts_json :
+  ?var:string ->
+  ?include_jdk:bool ->
+  Ir.program ->
+  Solver.result ->
+  Csc_obs.Json.t

@@ -16,7 +16,8 @@ let opt f = function None -> Json.Null | Some x -> f x
 
 let outcome_json (o : Run.outcome) : Json.t =
   let base =
-    [ ("analysis", Json.Str o.o_analysis);
+    [ ("schema", Json.Int Json.schema_version);
+      ("analysis", Json.Str o.o_analysis);
       ("timeout", Json.Bool o.o_timeout);
       ("time_s", Json.Float o.o_time);
       ("pre_time_s", Json.Float o.o_pre_time);
@@ -32,14 +33,19 @@ let outcome_json (o : Run.outcome) : Json.t =
   | None -> Obj base
   | Some p -> Obj (base @ [ ("profile", Csc_obs.Attr.profile_json p) ])
 
-(** One experiment: its name plus the (program, analysis) cells it ran. *)
+(** One experiment: its name plus the (program, analysis) cells it ran.
+    The schema envelope lives on the experiment document, not on every
+    cell, so cells drop the member {!outcome_json} adds. *)
 let cell_json ~program (o : Run.outcome) : Json.t =
   match outcome_json o with
-  | Obj fields -> Obj (("program", Json.Str program) :: fields)
+  | Obj fields ->
+    Obj
+      (("program", Json.Str program)
+      :: List.filter (fun (k, _) -> k <> "schema") fields)
   | j -> j
 
 let experiment_json ~name (cells : (string * Run.outcome) list) : Json.t =
-  Obj
+  Json.with_schema
     [ ("experiment", Json.Str name);
       ("cells", Json.List (List.map (fun (p, o) -> cell_json ~program:p o) cells))
     ]

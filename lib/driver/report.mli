@@ -8,12 +8,17 @@ module Json = Csc_obs.Json
 module Metrics = Csc_clients.Metrics
 
 val metrics_json : Metrics.t -> Json.t
+
+(** Carries the [("schema", _)] version member ({!Csc_obs.Json.schema_version})
+    as its first field so clients can detect format drift. *)
 val outcome_json : Run.outcome -> Json.t
 
-(** {!outcome_json} with a ["program"] field prepended. *)
+(** {!outcome_json} with a ["program"] field prepended and the schema member
+    dropped (the enclosing experiment document carries it once). *)
 val cell_json : program:string -> Run.outcome -> Json.t
 
-(** [{"experiment": name, "cells": [...]}] over (program, outcome) pairs. *)
+(** [{"schema": 1, "experiment": name, "cells": [...]}] over
+    (program, outcome) pairs. *)
 val experiment_json : name:string -> (string * Run.outcome) list -> Json.t
 
 (** Write pretty-printed JSON plus a trailing newline. *)

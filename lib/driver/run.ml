@@ -65,6 +65,102 @@ let rec is_datalog = function
   | Imp_2obj | Imp_2type | Imp_2call | Imp_zipper ->
     false
 
+(* --------------------------------------------------- analysis-name grammar *)
+
+let analysis_names =
+  [ "ci"; "csc"; "csc-field"; "csc-container"; "csc-localflow"; "1obj";
+    "2obj"; "3obj"; "1type"; "2type"; "1call"; "2call"; "zipper-e"; "doop-ci";
+    "doop-csc"; "doop-2obj"; "doop-2type"; "doop-zipper-e" ]
+
+let grammar_help =
+  "expected one of: ci, csc, csc-field, csc-container, csc-localflow, \
+   zipper-e, <K>obj, <K>type, <K>call (or kobj:<K>, ktype:<K>, kcall:<K>), \
+   doop-ci, doop-csc, doop-2obj, doop-2type, doop-zipper-e (or doop:<name>), \
+   no-collapse:<imperative analysis>"
+
+(* "<K>obj" / "<K>type" / "<K>call" with K a positive integer *)
+let k_suffixed s ~suffix =
+  let ls = String.length s and lx = String.length suffix in
+  if ls <= lx || String.sub s (ls - lx) lx <> suffix then None
+  else
+    match int_of_string_opt (String.sub s 0 (ls - lx)) with
+    | Some k when k >= 1 -> Some k
+    | _ -> None
+
+let kobj_of = function 2 -> Imp_2obj | k -> Imp_kobj k
+let ktype_of = function 2 -> Imp_2type | k -> Imp_ktype k
+let kcall_of = function 2 -> Imp_2call | k -> Imp_kcall k
+
+let after_colon s prefix =
+  let lp = String.length prefix in
+  if String.length s > lp && String.sub s 0 lp = prefix then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let rec analysis_of_string (s : string) : (analysis, string) result =
+  let k_arg rest mk =
+    match int_of_string_opt rest with
+    | Some k when k >= 1 -> Ok (mk k)
+    | _ -> Error (Printf.sprintf "bad context depth %S (want a positive integer)" rest)
+  in
+  match s with
+  | "ci" -> Ok Imp_ci
+  | "csc" -> Ok Imp_csc
+  | "csc-field" ->
+    Ok
+      (Imp_csc_cfg
+         { field_pattern = true; container_pattern = false; local_flow = false })
+  | "csc-container" ->
+    Ok
+      (Imp_csc_cfg
+         { field_pattern = false; container_pattern = true; local_flow = false })
+  | "csc-localflow" ->
+    Ok
+      (Imp_csc_cfg
+         { field_pattern = false; container_pattern = false; local_flow = true })
+  | "zipper-e" -> Ok Imp_zipper
+  | "doop-ci" -> Ok Doop_ci
+  | "doop-csc" -> Ok Doop_csc
+  | "doop-2obj" -> Ok Doop_2obj
+  | "doop-2type" -> Ok Doop_2type
+  | "doop-zipper-e" -> Ok Doop_zipper
+  | s -> (
+    match after_colon s "no-collapse:" with
+    | Some rest -> (
+      match analysis_of_string rest with
+      | Error _ as e -> e
+      | Ok a when is_datalog a ->
+        Error
+          (Printf.sprintf
+             "no-collapse:%s — cycle collapsing is an imperative-engine \
+              switch; it does not apply to Datalog analyses"
+             rest)
+      | Ok a -> Ok (Imp_no_collapse a))
+    | None -> (
+      match after_colon s "doop:" with
+      | Some rest -> analysis_of_string ("doop-" ^ rest)
+      | None -> (
+        match after_colon s "kobj:" with
+        | Some rest -> k_arg rest kobj_of
+        | None -> (
+          match after_colon s "ktype:" with
+          | Some rest -> k_arg rest ktype_of
+          | None -> (
+            match after_colon s "kcall:" with
+            | Some rest -> k_arg rest kcall_of
+            | None -> (
+              match k_suffixed s ~suffix:"obj" with
+              | Some k -> Ok (kobj_of k)
+              | None -> (
+                match k_suffixed s ~suffix:"type" with
+                | Some k -> Ok (ktype_of k)
+                | None -> (
+                  match k_suffixed s ~suffix:"call" with
+                  | Some k -> Ok (kcall_of k)
+                  | None ->
+                    Error
+                      (Printf.sprintf "unknown analysis %S; %s" s grammar_help)))))))))
+
 type outcome = {
   o_analysis : string;
   o_timeout : bool;
@@ -119,13 +215,55 @@ let of_result ?(pre_time = 0.) ?selected ?involved ?(shortcuts = 0) analysis p
     o_profile = None;
   }
 
+(* ------------------------------------------------------------------ spec *)
+
+type spec = {
+  sp_analysis : analysis;
+  sp_budget_s : float option;
+  sp_validate : bool;
+  sp_explain : bool;
+  sp_collapse : bool;
+  sp_profile : bool;
+  sp_profile_top : int;
+  sp_progress_s : float option;
+  sp_jobs : int;
+}
+
+let spec analysis =
+  {
+    sp_analysis = analysis;
+    sp_budget_s = None;
+    sp_validate = false;
+    sp_explain = false;
+    sp_collapse = true;
+    sp_profile = false;
+    sp_profile_top = 25;
+    sp_progress_s = None;
+    sp_jobs = 1;
+  }
+
+(* progress heartbeats only change stderr cadence, never the outcome, so the
+   session result cache must not fragment on them *)
+let spec_key s = { s with sp_progress_s = None }
+
 (** Run one analysis under an optional time budget (seconds). Timeouts are
     reported in the outcome, not raised — like the paper's ">2h" cells.
-    [validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR fails
-    fast instead of silently corrupting analysis results. *)
-let rec run ?budget_s ?(validate = false) ?(explain = false)
-    ?(collapse = true) ?(profile = false) ?(profile_top = 25) ?progress_s
-    ?(jobs = 1) (p : Ir.program) (analysis : analysis) : outcome =
+    [sp_validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR
+    fails fast instead of silently corrupting analysis results. *)
+let rec run_spec (s : spec) (p : Ir.program) : outcome =
+  let {
+    sp_analysis = analysis;
+    sp_budget_s = budget_s;
+    sp_validate = validate;
+    sp_explain = explain;
+    sp_collapse = collapse;
+    sp_profile = profile;
+    sp_profile_top = profile_top;
+    sp_progress_s = progress_s;
+    sp_jobs = jobs;
+  } =
+    s
+  in
   if validate then Csc_ir.Validate.check_exn p;
   (* a requested --jobs N that cannot be honoured says so instead of
      silently running sequentially (the results are identical either way;
@@ -207,8 +345,7 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
   match analysis with
   | Imp_no_collapse inner ->
     let o =
-      run ?budget_s ~validate ~explain ~collapse:false ~profile ~profile_top
-        ?progress_s ~jobs p inner
+      run_spec { s with sp_analysis = inner; sp_collapse = false } p
     in
     { o with o_analysis = name analysis }
   | Imp_ci ->
@@ -299,6 +436,25 @@ let rec run ?budget_s ?(validate = false) ?(explain = false)
           (of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
              (elapsed ()))
       | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())))
+
+(** Optional-argument convenience over {!run_spec}; the two are equivalent
+    by construction. *)
+let run ?budget_s ?(validate = false) ?(explain = false) ?(collapse = true)
+    ?(profile = false) ?(profile_top = 25) ?progress_s ?(jobs = 1)
+    (p : Ir.program) (analysis : analysis) : outcome =
+  run_spec
+    {
+      sp_analysis = analysis;
+      sp_budget_s = budget_s;
+      sp_validate = validate;
+      sp_explain = explain;
+      sp_collapse = collapse;
+      sp_profile = profile;
+      sp_profile_top = profile_top;
+      sp_progress_s = progress_s;
+      sp_jobs = jobs;
+    }
+    p
 
 (* ------------------------------------------------------------- recall *)
 

@@ -35,6 +35,28 @@ val name : analysis -> string
 val all_imperative : analysis list
 val all_datalog : analysis list
 
+(** The canonical analysis spellings (for help text); {!analysis_of_string}
+    accepts these plus the generalized forms below. *)
+val analysis_names : string list
+
+(** Parse an analysis name. Grammar (one shared parser for the CLI, the
+    bench harness and the analysis server):
+
+    {v
+    analysis ::= "ci" | "csc" | "csc-field" | "csc-container"
+               | "csc-localflow" | "zipper-e"
+               | <K>"obj" | <K>"type" | <K>"call"        (positive K)
+               | "kobj:"<K> | "ktype:"<K> | "kcall:"<K>  (same, colon form)
+               | "doop-"<d> | "doop:"<d>                 (d: ci, csc, 2obj,
+                                                          2type, zipper-e)
+               | "no-collapse:"<analysis>                (imperative only)
+    v}
+
+    [Error msg] describes the failure and restates the grammar. The parse is
+    compatible with {!name}: [analysis_of_string (name a) = Ok a] for every
+    [a] the CLI can spell. *)
+val analysis_of_string : string -> (analysis, string) result
+
 (** True for the Doop-engine analyses (their times are not comparable with
     the imperative engine's; dispatch on this, not on name prefixes). *)
 val is_datalog : analysis -> bool
@@ -57,6 +79,39 @@ type outcome = {
       (** cost attribution (hot methods/pointers/rules), present iff the run
           was started with [~profile:true] and did not time out *)
 }
+
+(** An explicit run request: the analysis to run plus every knob {!run_spec}
+    honours. This record is the driver's session-facing API — the CLI
+    subcommands, the bench harness and the analysis server all build a
+    [spec] and hand it to {!run_spec} (or to [Session.outcome], which caches
+    on it). Construct with {!spec} and override fields with [{ ... with }]
+    so new knobs don't break callers. *)
+type spec = {
+  sp_analysis : analysis;
+  sp_budget_s : float option;  (** wall-clock budget, [None] = unlimited *)
+  sp_validate : bool;          (** IR validation before analyzing *)
+  sp_explain : bool;           (** record points-to provenance *)
+  sp_collapse : bool;          (** online cycle collapsing (imperative) *)
+  sp_profile : bool;           (** cost attribution into [o_profile] *)
+  sp_profile_top : int;        (** rows per rendered profile table *)
+  sp_progress_s : float option;  (** stderr heartbeat cadence *)
+  sp_jobs : int;               (** imperative solver domains *)
+}
+
+(** [spec a] is the default request for analysis [a]: no budget, no
+    validation, no provenance, collapsing on, no profile (top 25), no
+    heartbeat, one domain. *)
+val spec : analysis -> spec
+
+(** Cache-key normalization: fields that cannot change the outcome (today
+    only [sp_progress_s], a pure stderr cadence) reset to their defaults, so
+    a result cache keyed on [spec_key s] is shared across them. *)
+val spec_key : spec -> spec
+
+(** Run one analysis as described by the request record. Semantics of the
+    individual knobs are documented on {!run}, which is a thin
+    optional-argument wrapper over this function. *)
+val run_spec : spec -> Ir.program -> outcome
 
 (** Run one analysis under an optional wall-clock budget (seconds; a 4 GB
     heap cap applies too). Timeouts are reported in the outcome, not

@@ -1,0 +1,205 @@
+(** Resident analysis session: digest-keyed program cache + LRU result cache.
+    See the interface for the contract; the representation notes here cover
+    what the interface leaves open.
+
+    LRU is a monotone tick stamped on every touch; eviction scans for the
+    minimum — caches hold tens of entries, so O(n) eviction is irrelevant
+    next to the solves it guards. The just-inserted entry is never evicted
+    (a single outcome larger than the bound still has to be answered), so
+    the cache holds at least one result. *)
+
+module Ir = Csc_ir.Ir
+module Json = Csc_obs.Json
+module Registry = Csc_obs.Registry
+
+let word_bytes = Sys.word_size / 8
+let max_programs = 64
+
+type prog_entry = { pe_prog : Ir.program; mutable pe_tick : int }
+
+type res_entry = {
+  re_outcome : Run.outcome;
+  re_bytes : int;
+  mutable re_tick : int;
+}
+
+type t = {
+  progs : (string, prog_entry) Hashtbl.t;
+  results : (string * Run.spec, res_entry) Hashtbl.t;
+  max_mem_bytes : int;
+  mutable tick : int;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  (* optional mirrors into an obs registry (the server's stats surface) *)
+  c_hits : Registry.counter option;
+  c_misses : Registry.counter option;
+  c_evictions : Registry.counter option;
+  g_entries : Registry.gauge option;
+  g_bytes : Registry.gauge option;
+}
+
+let create ?(max_mem_bytes = 1 lsl 30) ?registry () =
+  let counter name = Option.map (fun r -> Registry.counter r name) registry in
+  let gauge name = Option.map (fun r -> Registry.gauge r name) registry in
+  {
+    progs = Hashtbl.create 16;
+    results = Hashtbl.create 32;
+    max_mem_bytes;
+    tick = 0;
+    bytes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    c_hits = counter "session_cache_hits";
+    c_misses = counter "session_cache_misses";
+    c_evictions = counter "session_cache_evictions";
+    g_entries = gauge "session_cache_entries";
+    g_bytes = gauge "session_cache_bytes";
+  }
+
+let bump c = Option.iter (fun c -> Registry.incr c) c
+let set g v = Option.iter (fun g -> Registry.set g (float_of_int v)) g
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let digest_of_source (src : string) : string =
+  Digest.to_hex (Digest.string src)
+
+(* ----------------------------------------------------------- program cache *)
+
+let evict_programs t =
+  while Hashtbl.length t.progs > max_programs do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun d (e : prog_entry) ->
+        match !victim with
+        | Some (_, tick) when tick <= e.pe_tick -> ()
+        | _ -> victim := Some (d, e.pe_tick))
+      t.progs;
+    match !victim with
+    | Some (d, _) -> Hashtbl.remove t.progs d
+    | None -> ()
+  done
+
+let load_source t ~name (src : string) : (Ir.program * string, string) result =
+  let digest = digest_of_source src in
+  match Hashtbl.find_opt t.progs digest with
+  | Some e ->
+    e.pe_tick <- next_tick t;
+    Ok (e.pe_prog, digest)
+  | None -> (
+    match Csc_lang.Frontend.compile_string ~name src with
+    | p ->
+      Hashtbl.replace t.progs digest { pe_prog = p; pe_tick = next_tick t };
+      evict_programs t;
+      Ok (p, digest)
+    | exception e -> Error (Printexc.to_string e))
+
+let load t (spec : string) : (Ir.program * string, string) result =
+  if List.mem spec Csc_workloads.Suite.names then begin
+    (* suite programs compile with the mini-JDK like compile_string does;
+       keying on the rendered source keeps one digest space for both *)
+    let src = Csc_workloads.Suite.source spec in
+    let digest = digest_of_source src in
+    match Hashtbl.find_opt t.progs digest with
+    | Some e ->
+      e.pe_tick <- next_tick t;
+      Ok (e.pe_prog, digest)
+    | None ->
+      let p = Csc_workloads.Suite.compile spec in
+      Hashtbl.replace t.progs digest { pe_prog = p; pe_tick = next_tick t };
+      evict_programs t;
+      Ok (p, digest)
+  end
+  else if Sys.file_exists spec then begin
+    let ic = open_in_bin spec in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    load_source t ~name:spec src
+  end
+  else
+    Error
+      (Printf.sprintf "unknown program %S (not a suite name or a file)" spec)
+
+(* ------------------------------------------------------------ result cache *)
+
+let entry_bytes (o : Run.outcome) : int =
+  (* [reachable_words] follows the closures in the outcome (r_pt captures
+     the solver), so this measures real residency; sharing across entries
+     makes it an over-estimate, which only evicts sooner *)
+  Obj.reachable_words (Obj.repr o) * word_bytes
+
+let evict_results t =
+  (* evict LRU entries until under the bound, but never the newest (the
+     caller is about to use it) *)
+  let continue = ref true in
+  while !continue && t.bytes > t.max_mem_bytes && Hashtbl.length t.results > 1
+  do
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k (e : res_entry) ->
+        if e.re_tick <> t.tick then
+          match !victim with
+          | Some (_, _, tick) when tick <= e.re_tick -> ()
+          | _ -> victim := Some (k, e.re_bytes, e.re_tick))
+      t.results;
+    match !victim with
+    | Some (k, b, _) ->
+      Hashtbl.remove t.results k;
+      t.bytes <- t.bytes - b;
+      t.evictions <- t.evictions + 1;
+      bump t.c_evictions
+    | None -> continue := false
+  done
+
+let publish t =
+  set t.g_entries (Hashtbl.length t.results);
+  set t.g_bytes t.bytes
+
+let outcome t ~digest (spec : Run.spec) (p : Ir.program) :
+    Run.outcome * bool =
+  let key = (digest, Run.spec_key spec) in
+  match Hashtbl.find_opt t.results key with
+  | Some e ->
+    e.re_tick <- next_tick t;
+    t.hits <- t.hits + 1;
+    bump t.c_hits;
+    (e.re_outcome, true)
+  | None ->
+    t.misses <- t.misses + 1;
+    bump t.c_misses;
+    let o = Run.run_spec spec p in
+    let b = entry_bytes o in
+    Hashtbl.replace t.results key
+      { re_outcome = o; re_bytes = b; re_tick = next_tick t };
+    t.bytes <- t.bytes + b;
+    evict_results t;
+    publish t;
+    (o, false)
+
+(* ---------------------------------------------------------- introspection *)
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let entries t = Hashtbl.length t.results
+let programs t = Hashtbl.length t.progs
+let bytes_used t = t.bytes
+let max_bytes t = t.max_mem_bytes
+
+let stats_json t : Json.t =
+  Obj
+    [ ("hits", Json.Int t.hits);
+      ("misses", Json.Int t.misses);
+      ("evictions", Json.Int t.evictions);
+      ("entries", Json.Int (entries t));
+      ("programs", Json.Int (programs t));
+      ("bytes", Json.Int t.bytes);
+      ("max_bytes", Json.Int t.max_mem_bytes) ]

@@ -1,0 +1,71 @@
+(** A resident analysis session: compiled programs and solved outcomes kept
+    warm across requests.
+
+    This is the session-oriented face of the driver. Batch CLI runs create
+    one, use it for the process lifetime and throw it away; the analysis
+    server ([Csc_server]) keeps one alive across requests so a repeat query
+    is answered straight from cache. Two caches sit inside:
+
+    - programs, keyed by the MD5 digest of their MiniJava source (so an
+      edited file re-compiles and an unchanged one never does), capped by
+      entry count;
+    - solved {!Run.outcome}s, keyed by [(source digest, Run.spec_key spec)],
+      evicted least-recently-used once the estimated resident size exceeds
+      the [max_mem_bytes] bound.
+
+    Sizes are estimated with [Obj.reachable_words] on the cached outcome — an
+    over-approximation (entries share the program and may share solver
+    structure) that errs toward evicting early, never toward unbounded
+    growth. The session is single-writer: callers serialize access (the
+    server handles one request at a time; the CLI is sequential), so there
+    is no internal locking. *)
+
+module Ir = Csc_ir.Ir
+module Json = Csc_obs.Json
+
+type t
+
+(** [create ()] with [max_mem_bytes] bounding the result cache (default
+    1 GiB). [registry] mirrors the session counters (hits, misses,
+    evictions, entries, bytes) into an observability registry so they show
+    up in snapshots. *)
+val create : ?max_mem_bytes:int -> ?registry:Csc_obs.Registry.t -> unit -> t
+
+(** Hex MD5 of a source text — the program-cache key. *)
+val digest_of_source : string -> string
+
+(** Compile [source] (cached by digest). [name] is used in error positions
+    only. [Error] carries the compiler's message. *)
+val load_source :
+  t -> name:string -> string -> (Ir.program * string, string) result
+
+(** Resolve [spec] as a workload-suite name, else as a path to a [.mjava]
+    file, and compile through the program cache. *)
+val load : t -> string -> (Ir.program * string, string) result
+
+(** [outcome t ~digest spec p] returns the cached outcome for
+    [(digest, Run.spec_key spec)], solving (and caching) on a miss. The
+    boolean is [true] on a cache hit. Timeout outcomes are cached too — the
+    budget is part of the key. *)
+val outcome : t -> digest:string -> Run.spec -> Ir.program -> Run.outcome * bool
+
+(** {2 Introspection} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+(** Cached result entries / programs. *)
+val entries : t -> int
+
+val programs : t -> int
+
+(** Estimated resident bytes of the result cache, and its bound. *)
+val bytes_used : t -> int
+
+val max_bytes : t -> int
+
+(** The session block of the server's [stats] reply:
+    [{"hits": _, "misses": _, "evictions": _, "entries": _, "programs": _,
+      "bytes": _, "max_bytes": _}]. *)
+val stats_json : t -> Json.t

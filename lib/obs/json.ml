@@ -301,3 +301,13 @@ let get_float = function
 let get_string = function Str s -> Some s | _ -> None
 let get_list = function List l -> Some l | _ -> None
 let get_bool = function Bool b -> Some b | _ -> None
+
+(* ----------------------------------------------------- versioned envelopes *)
+
+let schema_version = 1
+
+let with_schema (fields : (string * t) list) : t =
+  Obj (("schema", Int schema_version) :: fields)
+
+let error ~code msg : t =
+  Obj [ ("code", Str code); ("message", Str msg) ]

@@ -42,3 +42,21 @@ val get_float : t -> float option
 val get_string : t -> string option
 val get_list : t -> t list option
 val get_bool : t -> bool option
+
+(** {2 Versioned envelopes}
+
+    Every top-level machine-readable document this repo emits (driver
+    outcomes, check/taint diagnostics, profile reports, bench experiment
+    files, server replies) carries a [("schema", Int schema_version)] first
+    member so clients can detect format drift. *)
+
+(** Current wire/report schema version: [1]. *)
+val schema_version : int
+
+(** [with_schema fields] is [Obj] with [("schema", Int schema_version)]
+    prepended. *)
+val with_schema : (string * t) list -> t
+
+(** The one shared error-object shape:
+    [{"code": code, "message": msg}]. *)
+val error : code:string -> string -> t

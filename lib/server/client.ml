@@ -1,0 +1,42 @@
+(** One-shot NDJSON client over a unix socket (see the interface). *)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message e)
+
+let wait_for_socket ?(timeout_s = 10.) socket =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    match connect socket with
+    | Ok fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      true
+    | Error _ ->
+      if Unix.gettimeofday () >= deadline then false
+      else begin
+        Unix.sleepf 0.05;
+        poll ()
+      end
+  in
+  poll ()
+
+let request ~socket (req : string) : (string, string) result =
+  match connect socket with
+  | Error e -> Error (Printf.sprintf "cannot connect to %s: %s" socket e)
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let oc = Unix.out_channel_of_descr fd in
+        let ic = Unix.in_channel_of_descr fd in
+        output_string oc req;
+        output_char oc '\n';
+        flush oc;
+        match input_line ic with
+        | reply -> Ok reply
+        | exception End_of_file ->
+          Error "server closed the connection without replying")

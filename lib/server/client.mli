@@ -1,0 +1,15 @@
+(** Minimal client for the analysis server: connect to the unix socket,
+    send one newline-delimited JSON request, read one reply line. This is
+    what the [client] CLI subcommand and the CI smoke test script against;
+    richer clients can keep a connection open and pipeline requests
+    themselves — the protocol is plain NDJSON either way. *)
+
+(** Poll until [socket] accepts a connection; [false] if [timeout_s]
+    (default 10) elapses first. For scripts that just started the daemon in
+    the background. *)
+val wait_for_socket : ?timeout_s:float -> string -> bool
+
+(** One round-trip: connect, send [request] (a JSON object on one line),
+    return the reply line. [Error] on connection failure or a server that
+    hung up without replying. *)
+val request : socket:string -> string -> (string, string) result

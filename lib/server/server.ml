@@ -1,0 +1,366 @@
+(** Request router + accept loop of the resident analysis server. The
+    interface documents the wire protocol; everything here is mechanism.
+
+    Every handler goes through the same three steps — build a {!Run.spec}
+    from the request (server defaults underneath), resolve the program
+    through the session's digest-keyed program cache, and (for the
+    result-bearing commands) fetch the outcome through the session's result
+    cache — so a warm cache short-circuits straight to the client layer
+    whatever the command. *)
+
+module Json = Csc_obs.Json
+module Registry = Csc_obs.Registry
+module Snapshot = Csc_obs.Snapshot
+module Run = Csc_driver.Run
+module Session = Csc_driver.Session
+module Report = Csc_driver.Report
+module Export = Csc_driver.Export
+module Explain = Csc_driver.Explain
+module Ir = Csc_ir.Ir
+
+type t = {
+  sess : Session.t;
+  reg : Registry.t;
+  defaults : Run.spec;
+  lat : Registry.histogram;
+  g_inflight : Registry.gauge;
+  mutable served : int;
+  mutable stop : bool;
+}
+
+let create ?max_mem_bytes ?(defaults = Run.spec Run.Imp_csc) () =
+  let reg = Registry.create () in
+  {
+    sess = Session.create ?max_mem_bytes ~registry:reg ();
+    reg;
+    defaults;
+    lat =
+      Registry.histogram reg
+        ~buckets:[ 0.0001; 0.001; 0.01; 0.1; 1.; 10.; 100. ]
+        "server_latency_s";
+    g_inflight = Registry.gauge reg "server_inflight";
+    served = 0;
+    stop = false;
+  }
+
+let session t = t.sess
+let stopped t = t.stop
+
+(* ---------------------------------------------------------------- replies *)
+
+(* the "id" member is echoed verbatim so pipelined clients can match
+   replies to requests *)
+let id_field req =
+  match Option.bind req (Json.member "id") with
+  | Some id -> [ ("id", id) ]
+  | None -> []
+
+let ok_reply ?req ?cached fields =
+  Json.to_string
+    (Json.with_schema
+       (id_field req
+       @ [ ("ok", Json.Bool true) ]
+       @ (match cached with
+         | Some c -> [ ("cached", Json.Bool c) ]
+         | None -> [])
+       @ fields))
+
+let error_reply ?req ~code msg =
+  Json.to_string
+    (Json.with_schema
+       (id_field req
+       @ [ ("ok", Json.Bool false); ("error", Json.error ~code msg) ]))
+
+exception Reject of string * string  (* code, message *)
+
+let reject code msg = raise (Reject (code, msg))
+let rejectf code fmt = Printf.ksprintf (reject code) fmt
+
+(* ------------------------------------------------------- request decoding *)
+
+let str_member k req = Option.bind (Json.member k req) Json.get_string
+let bool_member k req = Option.bind (Json.member k req) Json.get_bool
+let int_member k req = Option.bind (Json.member k req) Json.get_int
+let float_member k req = Option.bind (Json.member k req) Json.get_float
+
+(* server defaults overridden by whatever the request names *)
+let spec_of_request t req : Run.spec =
+  let d = t.defaults in
+  let analysis =
+    match str_member "analysis" req with
+    | None -> d.Run.sp_analysis
+    | Some s -> (
+      match Run.analysis_of_string s with
+      | Ok a -> a
+      | Error msg -> reject "bad-request" msg)
+  in
+  {
+    Run.sp_analysis = analysis;
+    sp_budget_s =
+      (match float_member "budget_s" req with
+      | Some b -> if b <= 0. then None else Some b
+      | None -> d.Run.sp_budget_s);
+    sp_validate =
+      Option.value ~default:d.Run.sp_validate (bool_member "validate" req);
+    sp_explain = false;
+    sp_collapse =
+      Option.value ~default:d.Run.sp_collapse (bool_member "collapse" req);
+    sp_profile =
+      Option.value ~default:d.Run.sp_profile (bool_member "profile" req);
+    sp_profile_top =
+      Option.value ~default:d.Run.sp_profile_top
+        (int_member "profile_top" req);
+    sp_progress_s =
+      (match float_member "progress_s" req with
+      | Some s -> if s <= 0. then None else Some s
+      | None -> d.Run.sp_progress_s);
+    sp_jobs = Option.value ~default:d.Run.sp_jobs (int_member "jobs" req);
+  }
+
+let program_of_request t req : Ir.program * string =
+  match (str_member "program" req, str_member "source" req) with
+  | Some _, Some _ ->
+    reject "bad-request" "give either \"program\" or \"source\", not both"
+  | None, None ->
+    reject "bad-request" "missing \"program\" (suite name or .mjava path) or \
+                          inline \"source\""
+  | Some spec, None -> (
+    match Session.load t.sess spec with
+    | Ok pd -> pd
+    | Error msg -> reject "not-found" msg)
+  | None, Some src -> (
+    let name = Option.value ~default:"<inline>" (str_member "name" req) in
+    match Session.load_source t.sess ~name src with
+    | Ok pd -> pd
+    | Error msg -> reject "compile" msg)
+
+(* commands that need a solved state: fetch through the cache and insist
+   the solve finished *)
+let solved t req : Run.spec * Ir.program * Run.outcome * bool =
+  let spec = spec_of_request t req in
+  let p, digest = program_of_request t req in
+  let o, cached = Session.outcome t.sess ~digest spec p in
+  (spec, p, o, cached)
+
+let result_of (o : Run.outcome) =
+  match o.Run.o_result with
+  | Some r -> r
+  | None ->
+    rejectf "timeout" "analysis %s timed out after %.1fs" o.Run.o_analysis
+      o.Run.o_time
+
+(* ---------------------------------------------------------------- handlers *)
+
+let handle_analyze t req =
+  let _, _, o, cached = solved t req in
+  ok_reply ~req ~cached [ ("result", Report.outcome_json o) ]
+
+let handle_pt t req =
+  let _, p, o, cached = solved t req in
+  let r = result_of o in
+  let include_jdk = Option.value ~default:false (bool_member "include_jdk" req) in
+  let vars = Export.pts_json ?var:(str_member "var" req) ~include_jdk p r in
+  ok_reply ~req ~cached
+    [ ( "result",
+        Json.Obj
+          [ ("analysis", Json.Str o.Run.o_analysis); ("vars", vars) ] ) ]
+
+let handle_callgraph t req =
+  let _, p, o, cached = solved t req in
+  let r = result_of o in
+  let include_jdk = Option.value ~default:false (bool_member "include_jdk" req) in
+  ok_reply ~req ~cached
+    [ ( "result",
+        Json.Obj
+          [ ("analysis", Json.Str o.Run.o_analysis);
+            ("dot", Json.Str (Export.callgraph_dot ~include_jdk p r)) ] ) ]
+
+let handle_check t req =
+  let _, p, o, cached = solved t req in
+  let r = result_of o in
+  let include_jdk = Option.value ~default:false (bool_member "include_jdk" req) in
+  let checks =
+    match Option.bind (Json.member "checks" req) Json.get_list with
+    | None | Some [] -> None
+    | Some l -> Some (List.filter_map Json.get_string l)
+  in
+  let ds = Csc_checks.Checks.run_all ?checks ~include_jdk p r in
+  ok_reply ~req ~cached
+    [ ( "result",
+        Json.Obj
+          [ ("analysis", Json.Str o.Run.o_analysis);
+            ("count", Json.Int (List.length ds));
+            ( "diagnostics",
+              (* render_json is the one deterministic diagnostics shape;
+                 re-parsing it embeds the same objects in the reply *)
+              Json.parse_exn (Csc_checks.Diagnostic.render_json p ds) ) ] ) ]
+
+let handle_taint t req =
+  let tspec =
+    match str_member "spec" req with
+    | None -> Csc_taint.Taint_spec.builtin
+    | Some f -> (
+      match Csc_taint.Taint_spec.load f with
+      | Ok s -> s
+      | Error e -> rejectf "not-found" "cannot load taint spec %s: %s" f e)
+  in
+  let _, p, o, cached = solved t req in
+  let r = result_of o in
+  let include_jdk = Option.value ~default:false (bool_member "include_jdk" req) in
+  let res = Csc_taint.Taint.analyze ~spec:tspec p r in
+  let ds = Csc_taint.Taint.diagnostics ~include_jdk p res in
+  ok_reply ~req ~cached
+    [ ( "result",
+        Json.Obj
+          [ ("analysis", Json.Str o.Run.o_analysis);
+            ("count", Json.Int (List.length ds));
+            ( "tainted_objects",
+              Json.Int
+                (Csc_common.Bits.cardinal res.Csc_taint.Taint.t_tainted_objs)
+            );
+            ( "diagnostics",
+              Json.parse_exn (Csc_checks.Diagnostic.render_json p ds) ) ] ) ]
+
+let handle_explain t req =
+  (* provenance needs the live solver handle and disables collapsing, so
+     this command bypasses the session result cache on purpose *)
+  let spec = spec_of_request t req in
+  let p, _ = program_of_request t req in
+  let limit = Option.value ~default:5 (int_member "limit" req) in
+  match
+    Explain.run ?budget_s:spec.Run.sp_budget_s ?var:(str_member "var" req)
+      ~limit p spec.Run.sp_analysis
+  with
+  | Error msg -> reject "bad-request" msg
+  | Ok facts ->
+    ok_reply ~req
+      [ ( "result",
+          Json.Obj
+            [ ("analysis", Json.Str (Run.name spec.Run.sp_analysis));
+              ( "facts",
+                Json.List
+                  (List.map
+                     (fun (f : Explain.fact) ->
+                       Json.Obj
+                         [ ("ptr", Json.Str f.Explain.x_ptr);
+                           ("obj", Json.Str f.Explain.x_obj);
+                           ( "chain",
+                             Json.List
+                               (List.map
+                                  (fun l -> Json.Str l)
+                                  f.Explain.x_chain) ) ])
+                     facts) ) ] ) ]
+
+let handle_profile t req =
+  let spec = spec_of_request t req in
+  let spec =
+    {
+      spec with
+      Run.sp_profile = true;
+      sp_profile_top =
+        Option.value ~default:spec.Run.sp_profile_top (int_member "top" req);
+    }
+  in
+  let p, digest = program_of_request t req in
+  let o, cached = Session.outcome t.sess ~digest spec p in
+  ok_reply ~req ~cached
+    [ ( "result",
+        Json.Obj
+          [ ("analysis", Json.Str o.Run.o_analysis);
+            ("timeout", Json.Bool o.Run.o_timeout);
+            ("time_s", Json.Float o.Run.o_time);
+            ( "profile",
+              match o.Run.o_profile with
+              | None -> Json.Null
+              | Some pr -> Csc_obs.Attr.profile_json pr ) ] ) ]
+
+let handle_stats t req =
+  ok_reply ~req
+    [ ( "result",
+        Json.Obj
+          [ ("requests", Json.Int t.served);
+            ("session", Session.stats_json t.sess);
+            ("snapshot", Snapshot.to_json (Registry.snapshot t.reg)) ] ) ]
+
+let handle_shutdown t req =
+  t.stop <- true;
+  ok_reply ~req
+    [ ("result", Json.Obj [ ("stopping", Json.Bool true) ]) ]
+
+(* ----------------------------------------------------------------- router *)
+
+let dispatch t req = function
+  | "analyze" -> handle_analyze t req
+  | "pt" -> handle_pt t req
+  | "callgraph" -> handle_callgraph t req
+  | "check" -> handle_check t req
+  | "taint" -> handle_taint t req
+  | "explain" -> handle_explain t req
+  | "profile" -> handle_profile t req
+  | "stats" -> handle_stats t req
+  | "shutdown" -> handle_shutdown t req
+  | cmd ->
+    rejectf "unknown-cmd"
+      "unknown cmd %S (analyze, pt, callgraph, check, taint, explain, \
+       profile, stats, shutdown)"
+      cmd
+
+let handle_line t (line : string) : string =
+  let t0 = Unix.gettimeofday () in
+  Registry.set t.g_inflight 1.;
+  t.served <- t.served + 1;
+  let reply =
+    match Json.parse line with
+    | Error msg -> error_reply ~code:"parse" msg
+    | Ok req -> (
+      match str_member "cmd" req with
+      | None -> error_reply ~req ~code:"bad-request" "missing \"cmd\""
+      | Some cmd -> (
+        Registry.incr
+          (Registry.counter t.reg ~labels:[ ("cmd", cmd) ] "server_requests");
+        try dispatch t req cmd with
+        | Reject (code, msg) -> error_reply ~req ~code msg
+        | Failure msg -> error_reply ~req ~code:"bad-request" msg))
+  in
+  Registry.observe t.lat (Unix.gettimeofday () -. t0);
+  Registry.set t.g_inflight 0.;
+  reply
+
+(* ------------------------------------------------------------ accept loop *)
+
+let serve t ~socket =
+  let previous_sigpipe =
+    (* a client vanishing mid-reply must error the write, not kill the
+       daemon *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ -> None
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket);
+  Unix.listen fd 16;
+  let cleanup () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink socket with Unix.Unix_error _ -> ());
+    match previous_sigpipe with
+    | Some b -> Sys.set_signal Sys.sigpipe b
+    | None -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  while not t.stop do
+    let cfd, _ = Unix.accept fd in
+    let ic = Unix.in_channel_of_descr cfd in
+    let oc = Unix.out_channel_of_descr cfd in
+    (try
+       (* one connection at a time, strictly in request order (S19) *)
+       while not t.stop do
+         let line = input_line ic in
+         if String.trim line <> "" then begin
+           output_string oc (handle_line t line);
+           output_char oc '\n';
+           flush oc
+         end
+       done
+     with End_of_file | Sys_error _ -> ());
+    try Unix.close cfd with Unix.Unix_error _ -> ()
+  done

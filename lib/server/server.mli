@@ -1,0 +1,71 @@
+(** The resident analysis server: a single-process daemon answering
+    newline-delimited JSON requests over a unix socket, backed by one
+    {!Csc_driver.Session} so repeat queries are served from the digest-keyed
+    result cache instead of re-solving.
+
+    {2 Wire protocol}
+
+    One JSON object per line in each direction. Requests name a command and
+    a program, plus optional run-spec overrides:
+
+    {v
+    {"cmd": "analyze", "program": "findbugs", "analysis": "csc"}
+    {"cmd": "pt", "program": "hello.mjava", "analysis": "csc", "var": "main.x"}
+    {"cmd": "stats"}
+    {"cmd": "shutdown"}
+    v}
+
+    - [cmd] (required): one of [analyze], [pt], [callgraph], [check],
+      [taint], [explain], [profile], [stats], [shutdown].
+    - [program]: a workload-suite name or a [.mjava] path (resolved
+      server-side); alternatively [source] carries inline MiniJava text
+      (with an optional [name] for error positions).
+    - [analysis]: any spelling {!Csc_driver.Run.analysis_of_string} accepts.
+    - run-spec overrides, all optional: [budget_s], [jobs], [collapse],
+      [validate], [profile], [profile_top], [progress_s] — defaults come
+      from the spec the server was created with.
+    - command-specific: [var] (pt, explain), [limit] (explain),
+      [include_jdk] (pt, callgraph, check, taint), [checks] (check, a list
+      of checker names), [spec] (taint, a JSON taint-spec path), [top]
+      (profile).
+    - [id]: any JSON value, echoed verbatim in the reply.
+
+    Replies are versioned envelopes: [{"schema": 1, "id": ..., "ok": true,
+    "cmd": ..., "cached": ..., "result": {...}}] on success — [cached] is
+    present on session-backed commands and true when the answer came from
+    the result cache — and [{"schema": 1, "id": ..., "ok": false, "error":
+    {"code": ..., "message": ...}}] on failure (codes: [parse],
+    [bad-request], [unknown-cmd], [not-found], [compile], [timeout]).
+
+    {2 Concurrency model}
+
+    Single-writer by construction: one thread, one connection at a time,
+    requests handled strictly in arrival order (DESIGN.md S19). Telemetry
+    rides on an internal {!Csc_obs.Registry}: per-command request counters,
+    session cache hits/misses, a request-latency histogram and an in-flight
+    gauge, all exposed by the [stats] command. *)
+
+type t
+
+(** [create ()] builds a server state with a fresh session. [max_mem_bytes]
+    bounds the session's result cache (default 1 GiB); [defaults] seeds the
+    per-request run spec (its [sp_analysis] is the analysis used when a
+    request names none). *)
+val create : ?max_mem_bytes:int -> ?defaults:Csc_driver.Run.spec -> unit -> t
+
+(** The session behind the server (tests assert on its counters). *)
+val session : t -> Csc_driver.Session.t
+
+(** True once a [shutdown] request has been handled. *)
+val stopped : t -> bool
+
+(** Handle one request line, producing one reply line (no trailing
+    newline). Total: every failure mode is an error reply, never an
+    exception. This is the full router — the socket loop and the tests both
+    sit on it. *)
+val handle_line : t -> string -> string
+
+(** Bind [socket] (an existing file is unlinked first), listen, and serve
+    connections one at a time until a [shutdown] request arrives; the socket
+    file is removed on exit. Ignores SIGPIPE for the duration. *)
+val serve : t -> socket:string -> unit
