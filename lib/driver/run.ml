@@ -7,6 +7,7 @@ module Ir = Csc_ir.Ir
 module Solver = Csc_pta.Solver
 module Par = Csc_pta.Par
 module Context = Csc_pta.Context
+module Inc = Csc_pta.Inc
 module Csc = Csc_core.Csc
 module Metrics = Csc_clients.Metrics
 module Dl = Csc_datalog.Analysis
@@ -246,11 +247,25 @@ let spec analysis =
    session result cache must not fragment on them *)
 let spec_key s = { s with sp_progress_s = None }
 
+(** Retained engine state of a completed run, for {!update}: the program,
+    the (finished) solver and, for CSC analyses, the plugin handle. *)
+type state = {
+  st_prog : Ir.program;
+  st_solver : Solver.t;
+  st_csc : Csc.t option;
+}
+
 (** Run one analysis under an optional time budget (seconds). Timeouts are
     reported in the outcome, not raised — like the paper's ">2h" cells.
     [sp_validate] runs {!Csc_ir.Validate.check_exn} first so malformed IR
-    fails fast instead of silently corrupting analysis results. *)
-let rec run_spec (s : spec) (p : Ir.program) : outcome =
+    fails fast instead of silently corrupting analysis results.
+
+    [preseed] is applied to the created imperative solver after plugin
+    installation and before solving (the incremental engine's fact
+    transplant); [keep] receives the retained {!state} when the run
+    completes without timeout. *)
+let rec run_spec_inner ?preseed ?(keep : state option ref option) (s : spec)
+    (p : Ir.program) : outcome =
   let {
     sp_analysis = analysis;
     sp_budget_s = budget_s;
@@ -308,6 +323,7 @@ let rec run_spec (s : spec) (p : Ir.program) : outcome =
   let elapsed () = Timer.now () -. t0 in
   (* built via create/run (not [Solver.analyze]) to keep the solver handle:
      the timeout path still snapshots the aborted engine state *)
+  let csc_handle : Csc.t option ref = ref None in
   let solve ?plugin_of sel =
     let t = Solver.create ~budget ~sel ~collapse p in
     if explain then
@@ -318,6 +334,9 @@ let rec run_spec (s : spec) (p : Ir.program) : outcome =
     if profile then Solver.enable_attr t;
     (match progress_s with Some s -> Solver.set_progress t s | None -> ());
     (match plugin_of with Some f -> Solver.set_plugin t (f t) | None -> ());
+    (* incremental preloads enter through the ordinary worklist, after the
+       plugin is installed, so every watch and plugin hook replays on them *)
+    (match preseed with Some f -> f t | None -> ());
     match Par.run ~jobs t with
     | () -> Ok t
     | exception Solver.Timeout -> Error (Solver.snapshot t)
@@ -325,6 +344,9 @@ let rec run_spec (s : spec) (p : Ir.program) : outcome =
   let imperative ?plugin_of sel finish =
     match solve ?plugin_of sel with
     | Ok t ->
+      (match keep with
+      | Some r -> r := Some { st_prog = p; st_solver = t; st_csc = !csc_handle }
+      | None -> ());
       let o = finish (Solver.result t) in
       if profile then { o with o_profile = Solver.profile ~top:profile_top t }
       else o
@@ -345,7 +367,9 @@ let rec run_spec (s : spec) (p : Ir.program) : outcome =
   match analysis with
   | Imp_no_collapse inner ->
     let o =
-      run_spec { s with sp_analysis = inner; sp_collapse = false } p
+      run_spec_inner ?preseed ?keep
+        { s with sp_analysis = inner; sp_collapse = false }
+        p
     in
     { o with o_analysis = name analysis }
   | Imp_ci ->
@@ -354,15 +378,14 @@ let rec run_spec (s : spec) (p : Ir.program) : outcome =
     let config =
       match analysis with Imp_csc_cfg c -> c | _ -> Csc.default_config
     in
-    let handle = ref None in
     let plugin_of s =
       let pl, h = Csc.plugin_with_handle ~config s in
-      handle := Some h;
+      csc_handle := Some h;
       pl
     in
     imperative ~plugin_of Context.ci (fun r ->
         let involved, shortcuts =
-          match !handle with
+          match !csc_handle with
           | Some h -> (Some (Csc.involved_methods h), Csc.shortcut_count h)
           | None -> (None, 0)
         in
@@ -436,6 +459,73 @@ let rec run_spec (s : spec) (p : Ir.program) : outcome =
           (of_result ~pre_time ~selected:sel.Zipper.selected analysis p r
              (elapsed ()))
       | exception Dl.Timeout -> timeout_outcome analysis (elapsed ())))
+
+let run_spec (s : spec) (p : Ir.program) : outcome = run_spec_inner s p
+
+(* ------------------------------------------------------------ incremental *)
+
+(** Analyses the incremental engine supports: the context-insensitive lattice
+    (CI and the CSC family), optionally without collapsing. Context-sensitive
+    analyses fall back to a fresh solve ({!Inc.plan} re-checks this). *)
+let rec inc_supported = function
+  | Imp_ci | Imp_csc | Imp_csc_cfg _ -> true
+  | Imp_no_collapse a -> inc_supported a
+  | Imp_kobj _ | Imp_ktype _ | Imp_kcall _ | Imp_2obj | Imp_2type | Imp_2call
+  | Imp_zipper | Doop_ci | Doop_csc | Doop_2obj | Doop_2type | Doop_zipper ->
+    false
+
+let rec csc_config_of = function
+  | Imp_csc -> Some Csc.default_config
+  | Imp_csc_cfg c -> Some c
+  | Imp_no_collapse a -> csc_config_of a
+  | _ -> None
+
+(** Like {!run_spec}, but also return the retained engine {!state} when the
+    analysis supports incremental updates and the run completed. *)
+let run_spec_keep (s : spec) (p : Ir.program) : outcome * state option =
+  if not (inc_supported s.sp_analysis) then (run_spec s p, None)
+  else begin
+    let keep = ref None in
+    let o = run_spec_inner ~keep s p in
+    (o, if o.o_timeout then None else !keep)
+  end
+
+(** [update s ~prev p] analyzes [p] — the edited successor of [prev]'s
+    program — reusing [prev]'s solved state where the edit provably cannot
+    have changed it (see {!Csc_pta.Inc}). Falls back to a fresh solve (and
+    says why in the returned info) whenever reuse is unsupported or not
+    worthwhile; either way the outcome is bit-identical to [run_spec s p]. *)
+let update (s : spec) ~(prev : state) (p : Ir.program) :
+    outcome * state option * Inc.info =
+  let fallback reason =
+    let o, st = run_spec_keep s p in
+    (o, st, Inc.fresh_info reason)
+  in
+  if not (inc_supported s.sp_analysis) then
+    fallback ("analysis " ^ name s.sp_analysis ^ " has no incremental mode")
+  else
+    let config = csc_config_of s.sp_analysis in
+    if (config = None) <> (prev.st_csc = None) then
+      fallback "retained state is for a different analysis"
+    else
+      let classify_old, classify_new, hook =
+        match (config, prev.st_csc) with
+        | Some c, Some h ->
+          ( Some (Csc.classifier ~config:c prev.st_prog),
+            Some (Csc.classifier ~config:c p),
+            Some (Csc.inc_hook h) )
+        | _ -> (None, None, None)
+      in
+      match Inc.plan ?classify_old ?classify_new ?hook ~old:prev.st_solver p with
+      | Inc.Fallback reason -> fallback reason
+      | Inc.Preseed (pre, info) ->
+        let keep = ref None in
+        let o = run_spec_inner ~preseed:pre ~keep s p in
+        let st = if o.o_timeout then None else !keep in
+        (match st with
+        | Some st -> Inc.record st.st_solver.Solver.reg info
+        | None -> ());
+        (o, st, info)
 
 (** Optional-argument convenience over {!run_spec}; the two are equivalent
     by construction. *)

@@ -15,7 +15,11 @@ module Registry = Csc_obs.Registry
 let word_bytes = Sys.word_size / 8
 let max_programs = 64
 
-type prog_entry = { pe_prog : Ir.program; mutable pe_tick : int }
+type prog_entry = {
+  pe_prog : Ir.program;
+  pe_src : string;  (** retained so [update] can apply textual edits *)
+  mutable pe_tick : int;
+}
 
 type res_entry = {
   re_outcome : Run.outcome;
@@ -26,6 +30,11 @@ type res_entry = {
 type t = {
   progs : (string, prog_entry) Hashtbl.t;
   results : (string * Run.spec, res_entry) Hashtbl.t;
+  (* retained engine state of the most recent solve of a supported analysis:
+     (source digest, normalized spec, state). One anchor only — a solver is
+     far larger than a cached outcome, so we keep exactly the one an editing
+     session extends; a non-matching [update] falls back to a fresh solve. *)
+  mutable anchor : (string * Run.spec * Run.state) option;
   max_mem_bytes : int;
   mutable tick : int;
   mutable bytes : int;
@@ -46,6 +55,7 @@ let create ?(max_mem_bytes = 1 lsl 30) ?registry () =
   {
     progs = Hashtbl.create 16;
     results = Hashtbl.create 32;
+    anchor = None;
     max_mem_bytes;
     tick = 0;
     bytes = 0;
@@ -94,7 +104,8 @@ let load_source t ~name (src : string) : (Ir.program * string, string) result =
   | None -> (
     match Csc_lang.Frontend.compile_string ~name src with
     | p ->
-      Hashtbl.replace t.progs digest { pe_prog = p; pe_tick = next_tick t };
+      Hashtbl.replace t.progs digest
+        { pe_prog = p; pe_src = src; pe_tick = next_tick t };
       evict_programs t;
       Ok (p, digest)
     | exception e -> Error (Printexc.to_string e))
@@ -111,7 +122,8 @@ let load t (spec : string) : (Ir.program * string, string) result =
       Ok (e.pe_prog, digest)
     | None ->
       let p = Csc_workloads.Suite.compile spec in
-      Hashtbl.replace t.progs digest { pe_prog = p; pe_tick = next_tick t };
+      Hashtbl.replace t.progs digest
+        { pe_prog = p; pe_src = src; pe_tick = next_tick t };
       evict_programs t;
       Ok (p, digest)
   end
@@ -163,6 +175,19 @@ let publish t =
   set t.g_entries (Hashtbl.length t.results);
   set t.g_bytes t.bytes
 
+let cache_result t key o =
+  let b = entry_bytes o in
+  Hashtbl.replace t.results key
+    { re_outcome = o; re_bytes = b; re_tick = next_tick t };
+  t.bytes <- t.bytes + b;
+  evict_results t;
+  publish t
+
+let set_anchor t ~digest key st =
+  match st with
+  | Some st -> t.anchor <- Some (digest, snd key, st)
+  | None -> ()
+
 let outcome t ~digest (spec : Run.spec) (p : Ir.program) :
     Run.outcome * bool =
   let key = (digest, Run.spec_key spec) in
@@ -175,14 +200,68 @@ let outcome t ~digest (spec : Run.spec) (p : Ir.program) :
   | None ->
     t.misses <- t.misses + 1;
     bump t.c_misses;
-    let o = Run.run_spec spec p in
-    let b = entry_bytes o in
-    Hashtbl.replace t.results key
-      { re_outcome = o; re_bytes = b; re_tick = next_tick t };
-    t.bytes <- t.bytes + b;
-    evict_results t;
-    publish t;
+    let o, st = Run.run_spec_keep spec p in
+    set_anchor t ~digest key st;
+    cache_result t key o;
     (o, false)
+
+(* ------------------------------------------------------------------ update *)
+
+type update_result = {
+  up_outcome : Run.outcome;
+  up_digest : string;  (** digest of the edited program *)
+  up_info : Csc_pta.Inc.info;
+  up_cached : bool;  (** the edited program's outcome was already cached *)
+}
+
+let update t ~digest ?source ?(edits = []) (spec : Run.spec) :
+    (update_result, string) result =
+  match Hashtbl.find_opt t.progs digest with
+  | None -> Error (Printf.sprintf "unknown program digest %S" digest)
+  | Some base -> (
+    base.pe_tick <- next_tick t;
+    let src_r =
+      match source with
+      | Some s -> Ok s
+      | None -> Csc_pta.Inc.apply_edits base.pe_src edits
+    in
+    match src_r with
+    | Error e -> Error e
+    | Ok src -> (
+      match load_source t ~name:"<update>" src with
+      | Error e -> Error e
+      | Ok (p, up_digest) -> (
+        let key = (up_digest, Run.spec_key spec) in
+        match Hashtbl.find_opt t.results key with
+        | Some e ->
+          e.re_tick <- next_tick t;
+          t.hits <- t.hits + 1;
+          bump t.c_hits;
+          Ok
+            {
+              up_outcome = e.re_outcome;
+              up_digest;
+              up_info = Csc_pta.Inc.fresh_info "cached outcome";
+              up_cached = true;
+            }
+        | None ->
+          t.misses <- t.misses + 1;
+          bump t.c_misses;
+          let o, st, info =
+            match t.anchor with
+            | Some (ad, akey, prev)
+              when ad = digest && akey = Run.spec_key spec ->
+              Run.update spec ~prev p
+            | Some _ ->
+              let o, st = Run.run_spec_keep spec p in
+              (o, st, Csc_pta.Inc.fresh_info "anchor is for another program")
+            | None ->
+              let o, st = Run.run_spec_keep spec p in
+              (o, st, Csc_pta.Inc.fresh_info "no retained state")
+          in
+          set_anchor t ~digest:up_digest key st;
+          cache_result t key o;
+          Ok { up_outcome = o; up_digest; up_info = info; up_cached = false })))
 
 (* ---------------------------------------------------------- introspection *)
 

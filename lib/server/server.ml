@@ -152,8 +152,12 @@ let result_of (o : Run.outcome) =
 (* ---------------------------------------------------------------- handlers *)
 
 let handle_analyze t req =
-  let _, _, o, cached = solved t req in
-  ok_reply ~req ~cached [ ("result", Report.outcome_json o) ]
+  let spec = spec_of_request t req in
+  let p, digest = program_of_request t req in
+  let o, cached = Session.outcome t.sess ~digest spec p in
+  (* the digest is the handle [update] requests use to name this program *)
+  ok_reply ~req ~cached
+    [ ("digest", Json.Str digest); ("result", Report.outcome_json o) ]
 
 let handle_pt t req =
   let _, p, o, cached = solved t req in
@@ -274,6 +278,65 @@ let handle_profile t req =
               | None -> Json.Null
               | Some pr -> Csc_obs.Attr.profile_json pr ) ] ) ]
 
+let handle_update t req =
+  let spec = spec_of_request t req in
+  let digest =
+    match str_member "digest" req with
+    | Some d -> d
+    | None -> reject "bad-request" "missing \"digest\" of the base program"
+  in
+  let edits =
+    match Json.member "edits" req with
+    | None -> None
+    | Some j -> (
+      match Json.get_list j with
+      | None -> reject "bad-request" "\"edits\" must be an array"
+      | Some l ->
+        Some
+          (List.map
+             (fun e ->
+               let field k =
+                 match Option.bind (Json.member k e) Json.get_string with
+                 | Some s -> s
+                 | None -> rejectf "bad-request" "edit missing %S" k
+               in
+               match Option.bind (Json.member "op" e) Json.get_string with
+               | Some "replace" ->
+                 Csc_pta.Inc.Replace_method
+                   {
+                     cls = field "class";
+                     meth = field "method";
+                     body = field "body";
+                   }
+               | Some "add" ->
+                 Csc_pta.Inc.Add_method
+                   { cls = field "class"; meth_src = field "src" }
+               | Some "remove" ->
+                 Csc_pta.Inc.Remove_method
+                   { cls = field "class"; meth = field "method" }
+               | Some op ->
+                 rejectf "bad-request"
+                   "unknown edit op %S (replace, add, remove)" op
+               | None -> reject "bad-request" "edit missing \"op\"")
+             l))
+  in
+  let source = str_member "source" req in
+  (match (edits, source) with
+  | None, None ->
+    reject "bad-request" "missing \"edits\" array or full \"source\""
+  | Some _, Some _ ->
+    reject "bad-request" "give either \"edits\" or \"source\", not both"
+  | _ -> ());
+  match Session.update t.sess ~digest ?source ?edits spec with
+  | Error msg -> reject "bad-request" msg
+  | Ok u ->
+    ok_reply ~req ~cached:u.Session.up_cached
+      [ ( "result",
+          Json.Obj
+            [ ("digest", Json.Str u.Session.up_digest);
+              ("inc", Json.Obj (Csc_pta.Inc.info_json u.Session.up_info));
+              ("outcome", Report.outcome_json u.Session.up_outcome) ] ) ]
+
 let handle_stats t req =
   ok_reply ~req
     [ ( "result",
@@ -297,12 +360,13 @@ let dispatch t req = function
   | "taint" -> handle_taint t req
   | "explain" -> handle_explain t req
   | "profile" -> handle_profile t req
+  | "update" -> handle_update t req
   | "stats" -> handle_stats t req
   | "shutdown" -> handle_shutdown t req
   | cmd ->
     rejectf "unknown-cmd"
       "unknown cmd %S (analyze, pt, callgraph, check, taint, explain, \
-       profile, stats, shutdown)"
+       profile, update, stats, shutdown)"
       cmd
 
 let handle_line t (line : string) : string =

@@ -16,7 +16,7 @@
     v}
 
     - [cmd] (required): one of [analyze], [pt], [callgraph], [check],
-      [taint], [explain], [profile], [stats], [shutdown].
+      [taint], [explain], [profile], [update], [stats], [shutdown].
     - [program]: a workload-suite name or a [.mjava] path (resolved
       server-side); alternatively [source] carries inline MiniJava text
       (with an optional [name] for error positions).
@@ -29,6 +29,20 @@
       of checker names), [spec] (taint, a JSON taint-spec path), [top]
       (profile).
     - [id]: any JSON value, echoed verbatim in the reply.
+
+    [update] analyzes an edited revision of an already-loaded program,
+    incrementally when the server's retained state anchors on it
+    ({!Csc_driver.Session.update}): [digest] (required) names the base
+    program (every [analyze] reply carries the program's [digest] beside
+    [result]), and either [edits] — an array of
+    [{"op": "replace", "class": C, "method": M, "body": "<statements>"}] /
+    [{"op": "add", "class": C, "src": "..."}] /
+    [{"op": "remove", "class": C, "method": M}] objects applied in order to
+    the base source — or [source], the full edited text. The result carries
+    the new revision's [digest] (the base for subsequent updates), an [inc]
+    block ([mode] "incremental"/"fresh", [reason], dirty/preload/reuse
+    statistics) and the ordinary analyze [outcome]; the outcome is
+    bit-identical to a from-scratch [analyze] of the edited source.
 
     Replies are versioned envelopes: [{"schema": 1, "id": ..., "ok": true,
     "cmd": ..., "cached": ..., "result": {...}}] on success — [cached] is

@@ -54,6 +54,7 @@ type ctx = {
   buf : Buffer.t;
   rng : Rng.t;
   shape : shape;
+  variant : int;
 }
 
 let pf ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
@@ -295,6 +296,24 @@ let emit_mesh ctx =
 
 (* ---- driver layer ---- *)
 
+(* Fixed statements appended to Driver0.op0_0 when generating an "edited"
+   revision of a shape program (see [generate ?variant]). Keyed only by the
+   variant integer and consuming no RNG draws, so every other method of the
+   variant-k rendering is byte-identical to the variant-0 one — exactly a
+   single-method body edit, which is what the incremental engine (lib/pta
+   Inc) and bench E17 want to measure. *)
+let emit_variant_stmts ctx =
+  let v = ctx.variant in
+  let s = ctx.shape in
+  if s.n_entity > 0 && s.n_fields > 0 then begin
+    let f = v mod s.n_fields in
+    pf ctx "    %s ev%d = new %s();\n" (ent ctx 0) v (ent ctx 0);
+    pf ctx "    ev%d.set%d(new Object());\n" v f;
+    pf ctx "    Object er%d = ev%d.get%d();\n" v v f;
+    pf ctx "    Object es%d = ev%d.self0(er%d);\n" v v v
+  end;
+  pf ctx "    if (salt > %d) { System.print(\"variant%d\"); }\n" (v + 1000) v
+
 (* Each driver op method exercises one scenario. They receive an int salt so
    the interpreter runs them with slightly different data. *)
 let emit_driver_op ctx ~d ~j =
@@ -415,6 +434,7 @@ let emit_driver_op ctx ~d ~j =
     pf ctx "      %s node = (%s) bit.next();\n" (base_cls h) (base_cls h);
     pf ctx "      if (node.kindId() > %d) { node.load(res2); }\n" (s.hier_width / 2);
     pf ctx "    }\n");
+  if d = 0 && j = 0 && ctx.variant > 0 then emit_variant_stmts ctx;
   pf ctx "  }\n"
 
 let emit_drivers ctx =
@@ -451,9 +471,13 @@ let emit_main ctx =
   pf ctx "}\n"
 
 (** Generate a full MiniJava program (without the mini-JDK, which the
-    frontend prepends). *)
-let generate (shape : shape) : string =
-  let ctx = { buf = Buffer.create 65536; rng = Rng.create shape.seed; shape } in
+    frontend prepends). [variant > 0] appends fixed, variant-keyed statements
+    to [Driver0.op0_0] without consuming RNG draws, so two variants of the
+    same shape differ in exactly that one method body. *)
+let generate ?(variant = 0) (shape : shape) : string =
+  let ctx =
+    { buf = Buffer.create 65536; rng = Rng.create shape.seed; shape; variant }
+  in
   emit_entities ctx;
   emit_wrappers ctx;
   emit_hierarchies ctx;
@@ -1341,4 +1365,105 @@ module Rand = struct
     in
     nested (fun x -> x) p.p_stmts;
     List.rev !out
+end
+
+(* ================================================================== *)
+(* Seeded edit-sequence generator over [Rand] plans, for the          *)
+(* incremental-analysis fuzz oracle (Soundness.check_incremental).    *)
+(* Each step applies one mutation to the previous plan; every         *)
+(* resulting plan is well-formed (defs still precede uses), so the    *)
+(* oracle can compile each revision and compare the incremental       *)
+(* update against a from-scratch solve. Mutations deliberately mix    *)
+(* semantics-preserving moves (swapping independent statements,       *)
+(* duplicating a side-effecting write) with semantics-changing ones   *)
+(* (dropping a def-use cone, changing the rounds bound).              *)
+(* ================================================================== *)
+
+module Edit = struct
+  open Rand
+
+  (* uses of a statement including its nested body (variables are globally
+     numbered and defined exactly once, so there is no shadowing) *)
+  let rec deep_uses s =
+    uses s
+    @ (match body_of s with
+      | Some b -> List.concat_map deep_uses b
+      | None -> [])
+
+  (* semantics-preserving: swap two adjacent independent top-level
+     statements (the second must not read what the first defines) *)
+  let swap_adjacent rng (p : plan) =
+    let arr = Array.of_list p.p_stmts in
+    let n = Array.length arr in
+    let ok i =
+      let d = defs arr.(i) in
+      List.for_all (fun v -> not (List.mem v d)) (deep_uses arr.(i + 1))
+    in
+    let cands = ref [] in
+    for i = 0 to n - 2 do
+      if ok i then cands := i :: !cands
+    done;
+    match !cands with
+    | [] -> None
+    | cs ->
+      let i = List.nth cs (Rng.int rng (List.length cs)) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(i + 1);
+      arr.(i + 1) <- t;
+      Some { p with p_stmts = Array.to_list arr }
+
+  (* analysis-neutral growth: duplicate a side-effecting statement
+     (re-running a store or container write defines no new variable) *)
+  let duplicate rng (p : plan) =
+    let dup = function
+      | PSet _ | PListAdd _ | PMapPut _ | PArrStore _ -> true
+      | _ -> false
+    in
+    let idxs = ref [] in
+    List.iteri (fun i s -> if dup s then idxs := i :: !idxs) p.p_stmts;
+    match !idxs with
+    | [] -> None
+    | cs ->
+      let i = List.nth cs (Rng.int rng (List.length cs)) in
+      let stmts =
+        List.concat
+          (List.mapi (fun j s -> if j = i then [ s; s ] else [ s ]) p.p_stmts)
+      in
+      Some { p with p_stmts = stmts }
+
+  (* semantics-changing: a different rounds bound (dynamic schedule change) *)
+  let bump_rounds rng (p : plan) =
+    let r = 1 + Rng.int rng 4 in
+    if r = p.p_rounds then None else Some { p with p_rounds = r }
+
+  (* semantics-changing: remove a random statement together with its
+     def-use cascade (delegates to the shrinker, whose candidates are
+     well-formed by construction) *)
+  let drop rng (p : plan) =
+    match shrink_candidates p with
+    | [] -> None
+    | cs -> Some (List.nth cs (Rng.int rng (List.length cs)))
+
+  let step rng (p : plan) : plan =
+    let ops = [| drop; duplicate; swap_adjacent; bump_rounds |] in
+    let n = Array.length ops in
+    let k = Rng.int rng n in
+    let rec try_from i =
+      if i = n then p (* nothing applicable: edit-to-same-program *)
+      else
+        match ops.((k + i) mod n) rng p with
+        | Some p' -> p'
+        | None -> try_from (i + 1)
+    in
+    try_from 0
+
+  let sequence ~seed ~steps (p : Rand.plan) : Rand.plan list =
+    let rng = Rng.create seed in
+    let rec go acc p n =
+      if n = 0 then List.rev acc
+      else
+        let p' = step rng p in
+        go (p' :: acc) p' (n - 1)
+    in
+    go [] p (max 0 steps)
 end

@@ -250,6 +250,66 @@ let test_protocol_errors () =
   (* none of the failures may count as served work gone wrong *)
   Alcotest.(check bool) "server still up" false (Server.stopped t)
 
+(* the update command: edits applied server-side, incremental path taken,
+   result digest-cached under the new revision *)
+let test_protocol_update () =
+  let t = Server.create () in
+  let h line = Server.handle_line t line in
+  (* load the base program and learn its digest from the analyze reply *)
+  let j = ok_reply (h (req "analyze" "")) in
+  let digest = get_str (member "digest" j) in
+  let body = "Item r = new Item(); this.item = r; return r;" in
+  let upd d b =
+    Printf.sprintf
+      "{\"cmd\": \"update\", \"analysis\": \"csc\", \"digest\": %S, \"edits\": \
+       [{\"op\": \"replace\", \"class\": \"Carton\", \"method\": \"getItem\", \
+       \"body\": %S}]}"
+      d b
+  in
+  let j = ok_reply (h (upd digest body)) in
+  let res = member "result" j in
+  Alcotest.(check string) "incremental path" "incremental"
+    (get_str (member "mode" (member "inc" res)));
+  let d2 = get_str (member "digest" res) in
+  Alcotest.(check bool) "digest moved" true (d2 <> digest);
+  (* a fresh analyze of the edited source must land on the same digest and
+     be served from the result cache with the very same outcome *)
+  let edited =
+    match
+      Csc_pta.Inc.apply_edits Fixtures.carton
+        [ Csc_pta.Inc.Replace_method { cls = "Carton"; meth = "getItem"; body } ]
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  let j' = ok_reply (h (req ~source:edited "analyze" "")) in
+  Alcotest.(check string) "same revision" d2 (get_str (member "digest" j'));
+  Alcotest.(check bool) "served from cache" true (get_bool (member "cached" j'));
+  Alcotest.(check string) "same outcome"
+    (Json.to_string (member "result" j'))
+    (Json.to_string (member "outcome" res));
+  (* the anchor follows the chain: a second (different) edit is
+     incremental again *)
+  let j = ok_reply (h (upd d2 "Item r = this.item; return r;")) in
+  Alcotest.(check string) "chained update incremental" "incremental"
+    (get_str (member "mode" (member "inc" (member "result" j))));
+  (* malformed updates *)
+  let _ = error_reply ~code:"bad-request" (h "{\"cmd\": \"update\"}") in
+  let _ =
+    error_reply ~code:"bad-request"
+      (h "{\"cmd\": \"update\", \"digest\": \"no-such-digest\", \"source\": \
+          \"class A { }\"}")
+  in
+  let _ =
+    error_reply ~code:"bad-request"
+      (h
+         (Printf.sprintf
+            "{\"cmd\": \"update\", \"digest\": %S, \"edits\": [{\"op\": \
+             \"frobnicate\"}]}"
+            d2))
+  in
+  ()
+
 (* ----------------------------------------------------------- unix socket *)
 
 let test_socket_roundtrip () =
@@ -312,6 +372,7 @@ let suite =
         Alcotest.test_case "pt matches the batch CLI" `Quick
           test_protocol_pt_matches_batch;
         Alcotest.test_case "malformed requests" `Quick test_protocol_errors;
+        Alcotest.test_case "update round-trip" `Quick test_protocol_update;
       ] );
     ( "server.socket",
       [ Alcotest.test_case "serve/client round-trip" `Quick test_socket_roundtrip ] );
